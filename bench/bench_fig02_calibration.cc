@@ -1,0 +1,98 @@
+// Fig. 2 — Calibration: Google App Engine vs our QUIC servers before and
+// after configuring them. 10 MB image over a 100 Mbps link; the bar chart
+// splits wait time (connection established -> first byte) from download
+// time. The uncalibrated public release takes ~2x as long; GAE adds a
+// large, variable wait.
+#include "bench_common.h"
+
+#include "http/object_service.h"
+#include "http/page_loader.h"
+#include "http/quic_session.h"
+
+namespace {
+
+using namespace longlook;
+using namespace longlook::harness;
+
+struct BarResult {
+  double wait_s = 0;
+  double download_s = 0;
+};
+
+BarResult run_one(const quic::QuicConfig& config, bool gae_wait,
+                  std::uint64_t seed) {
+  Scenario s;
+  s.rate_bps = 100'000'000;
+  s.seed = seed;
+  Testbed tb(s);
+  http::QuicObjectServer server(tb.sim(), tb.server_host(), kQuicPort, config);
+  if (gae_wait) {
+    // GAE's shared frontend: variable service delay before the response
+    // (Sec. 4.1: "variable wait time between connection establishment and
+    // content being served").
+    server.service().set_service_delay(milliseconds(300), milliseconds(1400),
+                                       seed * 31 + 7);
+  }
+  quic::TokenCache tokens;
+  http::QuicClientSession session(tb.sim(), tb.client_host(),
+                                  tb.server_host().address(), kQuicPort,
+                                  config, tokens);
+  http::PageLoader loader(tb.sim(), session, {1, 10 * 1024 * 1024});
+  loader.start();
+  tb.run_until([&] { return loader.finished(); }, seconds(300));
+  BarResult out;
+  if (!loader.finished()) return out;
+  const auto& obj = loader.result().objects[0];
+  out.wait_s = to_seconds(obj.first_byte - loader.result().started);
+  out.download_s = to_seconds(obj.complete - obj.first_byte);
+  return out;
+}
+
+BarResult average(const quic::QuicConfig& config, bool gae_wait) {
+  BarResult sum;
+  const int n = longlook::bench::rounds();
+  for (int i = 0; i < n; ++i) {
+    const BarResult r = run_one(config, gae_wait, 1000 + i);
+    sum.wait_s += r.wait_s;
+    sum.download_s += r.download_s;
+  }
+  sum.wait_s /= n;
+  sum.download_s /= n;
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  longlook::bench::banner(
+      "QUIC server calibration: wait + download time for a 10MB image at "
+      "100 Mbps",
+      "Fig. 2 (Sec. 4.1)");
+
+  quic::QuicConfig public_cfg;
+  public_cfg.version = quic::public_release_profile();  // MACW=107 + bug
+  quic::QuicConfig calibrated_cfg;  // MACW=430, ssthresh fix (deployed)
+
+  const BarResult pub = average(public_cfg, false);
+  const BarResult gae = average(calibrated_cfg, true);
+  const BarResult cal = average(calibrated_cfg, false);
+
+  print_table(std::cout, "Fig. 2: 10MB download, 100Mbps (averages)",
+              {"Server", "Wait (s)", "Download (s)", "Total (s)"},
+              {{"QUIC server, public default config",
+                format_fixed(pub.wait_s, 2), format_fixed(pub.download_s, 2),
+                format_fixed(pub.wait_s + pub.download_s, 2)},
+               {"Google App Engine (variable wait)",
+                format_fixed(gae.wait_s, 2), format_fixed(gae.download_s, 2),
+                format_fixed(gae.wait_s + gae.download_s, 2)},
+               {"QUIC server, calibrated (matches Google)",
+                format_fixed(cal.wait_s, 2), format_fixed(cal.download_s, 2),
+                format_fixed(cal.wait_s + cal.download_s, 2)}});
+
+  std::printf(
+      "\nPaper's finding: the public-release configuration takes ~2x the\n"
+      "calibrated configuration for large downloads, and GAE adds a high,\n"
+      "variable wait time. Measured total ratio (public/calibrated): %.2fx\n",
+      (pub.wait_s + pub.download_s) / (cal.wait_s + cal.download_s));
+  return 0;
+}

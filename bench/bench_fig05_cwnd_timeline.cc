@@ -1,0 +1,53 @@
+// Fig. 5 — Congestion-window timelines for QUIC and TCP sharing the same
+// 5 Mbps bottleneck (RTT=36ms, buffer=30KB): QUIC sustains a larger window
+// and grows it more aggressively, which is how it grabs the larger share.
+#include "bench_common.h"
+
+namespace {
+using namespace longlook;
+using namespace longlook::harness;
+}  // namespace
+
+int main() {
+  longlook::bench::banner(
+      "Congestion-window timelines while competing over 5 Mbps",
+      "Fig. 5 (Sec. 5.1)");
+
+  Scenario s;
+  s.rate_bps = 5'000'000;
+  s.buffer_bytes = 30 * 1024;
+  s.bucket_bytes = 8 * 1024;
+  s.seed = 23;
+  FairnessConfig cfg;
+  cfg.quic_flows = 1;
+  cfg.tcp_flows = 1;
+  cfg.duration = seconds(60);
+  cfg.sample_interval = milliseconds(500);
+  cfg.transfer_bytes = 256 * 1024 * 1024;
+  const auto reports = run_fairness(s, cfg);
+
+  std::printf("\n--- cwnd (KB) over time, sampled every 0.5 s ---\n");
+  std::printf("%7s %12s %12s\n", "t(s)", "QUIC cwnd", "TCP cwnd");
+  const std::size_t n = reports.front().timeline.size();
+  for (std::size_t i = 0; i < n; i += 4) {  // print every 2 s
+    std::printf("%7.1f %12.1f %12.1f\n", reports[0].timeline[i].t_s,
+                reports[0].timeline[i].cwnd_bytes / 1024.0,
+                reports[1].timeline[i].cwnd_bytes / 1024.0);
+  }
+  double quic_avg = 0;
+  double tcp_avg = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = n / 4; i < n; ++i) {  // steady state
+    quic_avg += reports[0].timeline[i].cwnd_bytes;
+    tcp_avg += reports[1].timeline[i].cwnd_bytes;
+    ++counted;
+  }
+  quic_avg /= static_cast<double>(counted) * 1024;
+  tcp_avg /= static_cast<double>(counted) * 1024;
+  std::printf(
+      "\nSteady-state average cwnd: QUIC=%.1f KB, TCP=%.1f KB (ratio %.2fx)\n"
+      "Paper's finding: QUIC achieves and holds the larger window (Fig. 5a)\n"
+      "by increasing it more often and more steeply (Fig. 5b).\n",
+      quic_avg, tcp_avg, quic_avg / std::max(tcp_avg, 1.0));
+  return 0;
+}

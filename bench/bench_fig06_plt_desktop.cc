@@ -1,0 +1,48 @@
+// Fig. 6 — QUIC (v34) vs TCP page load times in the desktop environment
+// with no added delay or loss (RTT = 36 ms): (a) one object of varying
+// size; (b) varying numbers of 10 KB objects. Heatmap cells are the percent
+// PLT difference (positive = QUIC faster, '·' = not significant).
+#include "bench_common.h"
+
+namespace {
+using namespace longlook;
+using namespace longlook::harness;
+}  // namespace
+
+int main() {
+  longlook::bench::banner(
+      "Desktop PLT heatmaps: rate x object size and rate x object count",
+      "Fig. 6a / Fig. 6b (Sec. 5.2)");
+
+  auto scenario = [](std::int64_t rate) {
+    Scenario s;
+    s.rate_bps = rate;
+    return s;
+  };
+
+  std::vector<std::pair<std::string, Workload>> size_cols = {
+      {"10KB", {1, 10 * 1024}},
+      {"100KB", {1, 100 * 1024}},
+      {"1MB", {1, 1024 * 1024}},
+      {"10MB", {1, 10 * 1024 * 1024}},
+  };
+  longlook::bench::run_heatmap("Fig. 6a: single object, varying size",
+                               longlook::bench::paper_rates_bps(), size_cols,
+                               scenario, {});
+
+  std::vector<std::pair<std::string, Workload>> count_cols = {
+      {"1", {1, 10 * 1024}},   {"2", {2, 10 * 1024}},
+      {"5", {5, 10 * 1024}},   {"10", {10, 10 * 1024}},
+      {"100", {100, 10 * 1024}}, {"200", {200, 10 * 1024}},
+  };
+  longlook::bench::run_heatmap(
+      "Fig. 6b: varying number of 10KB objects",
+      longlook::bench::paper_rates_bps(), count_cols, scenario, {});
+
+  std::printf(
+      "\nPaper's finding: QUIC outperforms TCP in every scenario except\n"
+      "large numbers of small objects, where Hybrid Slow Start's early exit\n"
+      "(triggered by the multiplexing-induced rise in minimum observed RTT)\n"
+      "leaves QUIC's window too small for the short transfer (Sec. 5.2).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 9 — Congestion window over time for QUIC and TCP at a 100 Mbps rate
+// limit with 1% loss: QUIC recovers from loss events and regrows its window
+// faster, yielding a larger average window.
+#include "bench_common.h"
+
+namespace {
+using namespace longlook;
+using namespace longlook::harness;
+}  // namespace
+
+int main() {
+  longlook::bench::banner(
+      "Congestion window over time at 100 Mbps with 1% loss",
+      "Fig. 9 (Sec. 5.2)");
+
+  Scenario s;
+  s.rate_bps = 100'000'000;
+  s.loss_rate = 0.01;
+  s.seed = 5;
+  FairnessConfig cfg;  // reuse the bulk-flow runner, one flow per protocol
+  cfg.quic_flows = 1;
+  cfg.tcp_flows = 1;
+  cfg.duration = seconds(30);
+  cfg.sample_interval = milliseconds(500);
+  cfg.transfer_bytes = 512 * 1024 * 1024;
+  // NOTE: unlike Figs. 4/5 the paper ran these back-to-back, not
+  // simultaneously; at 100 Mbps with 1% random loss the interaction between
+  // the two flows is negligible compared to the random-loss signal, and a
+  // shared run keeps the cwnd series time-aligned for printing.
+  const auto reports = run_fairness(s, cfg);
+
+  std::printf("\n--- cwnd (KB) over time ---\n");
+  std::printf("%7s %12s %12s\n", "t(s)", "QUIC", "TCP");
+  for (std::size_t i = 0; i < reports[0].timeline.size(); i += 2) {
+    std::printf("%7.1f %12.1f %12.1f\n", reports[0].timeline[i].t_s,
+                reports[0].timeline[i].cwnd_bytes / 1024.0,
+                reports[1].timeline[i].cwnd_bytes / 1024.0);
+  }
+  double q = 0;
+  double t = 0;
+  for (const auto& sample : reports[0].timeline) q += sample.cwnd_bytes;
+  for (const auto& sample : reports[1].timeline) t += sample.cwnd_bytes;
+  q /= static_cast<double>(reports[0].timeline.size()) * 1024;
+  t /= static_cast<double>(reports[1].timeline.size()) * 1024;
+  std::printf(
+      "\nAverage cwnd: QUIC=%.0f KB, TCP=%.0f KB. Goodput: QUIC=%.1f Mbps, "
+      "TCP=%.1f Mbps.\nPaper's finding: under the same loss, QUIC recovers "
+      "faster and holds a\nlarger window on average.\n",
+      q, t, reports[0].avg_mbps, reports[1].avg_mbps);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 11 — 210 MB download while the bottleneck bandwidth is re-drawn
+// uniformly in [50, 150] Mbps every second. QUIC's unambiguous, timestamped
+// ACKs give better rate estimates and faster adaptation; the paper measured
+// QUIC 79 Mbps (std 31) vs TCP 46 Mbps (std 12).
+#include "bench_common.h"
+
+#include "net/varbw.h"
+
+namespace {
+using namespace longlook;
+using namespace longlook::harness;
+
+constexpr std::size_t kTransferBytes = 210 * 1024 * 1024;
+
+std::function<std::shared_ptr<void>(Testbed&)> make_schedule(
+    std::uint64_t seed) {
+  return [seed](Testbed& tb) -> std::shared_ptr<void> {
+    auto sched = std::make_shared<VariableBandwidthSchedule>(
+        tb.sim(), 50'000'000, 150'000'000, seconds(1), seed * 13 + 1);
+    sched->manage(tb.downlink());
+    sched->manage(tb.uplink());
+    sched->start();
+    return sched;
+  };
+}
+
+}  // namespace
+
+int main() {
+  longlook::bench::banner(
+      "210 MB download under fluctuating bandwidth (50-150 Mbps, re-drawn "
+      "every second)",
+      "Fig. 11 (Sec. 5.2)");
+
+  const int n = longlook::bench::rounds();
+  std::vector<double> quic_mbps;
+  std::vector<double> tcp_mbps;
+
+  // Throughput timeline for the first run (the figure's series), using the
+  // flow runner with a transfer large enough not to complete.
+  {
+    Scenario s;
+    s.rate_bps = 100'000'000;
+    // A bandwidth drop must actually hurt: with the calibrated deep buffer
+    // both protocols would simply queue through every 150->50 Mbps swing.
+    s.buffer_bytes = 96 * 1024;
+    s.seed = 700;
+    FairnessConfig cfg;
+    cfg.quic_flows = 1;
+    cfg.tcp_flows = 0;
+    cfg.duration = seconds(20);
+    cfg.sample_interval = seconds(1);
+    cfg.transfer_bytes = 1024 * 1024 * 1024;
+    cfg.setup = make_schedule(s.seed);
+    const auto quic_rep = run_fairness(s, cfg);
+    cfg.quic_flows = 0;
+    cfg.tcp_flows = 1;
+    cfg.setup = make_schedule(s.seed);
+    const auto tcp_rep = run_fairness(s, cfg);
+    std::printf("\n--- throughput over time (run 1, Mbps) ---\n");
+    std::printf("%6s %10s %10s\n", "t(s)", "QUIC", "TCP");
+    for (std::size_t i = 0; i < quic_rep[0].timeline.size(); ++i) {
+      std::printf("%6.0f %10.1f %10.1f\n", quic_rep[0].timeline[i].t_s,
+                  quic_rep[0].timeline[i].mbps, tcp_rep[0].timeline[i].mbps);
+    }
+  }
+
+  // Average throughput of the full 210 MB download (completion-time based,
+  // exactly the paper's measure), per protocol per round.
+  for (int r = 0; r < n; ++r) {
+    Scenario s;
+    s.rate_bps = 100'000'000;
+    s.buffer_bytes = 96 * 1024;
+    s.seed = 710 + static_cast<std::uint64_t>(r);
+    CompareOptions opts;
+    opts.timeout = seconds(600);
+    opts.setup = make_schedule(s.seed);
+    quic::TokenCache tokens;
+    (void)run_quic_page_load(s, {1, 1024}, opts, tokens);  // warm 0-RTT
+    if (auto plt = run_quic_page_load(s, {1, kTransferBytes}, opts, tokens)) {
+      quic_mbps.push_back(kTransferBytes * 8.0 / *plt / 1e6);
+    }
+    if (auto plt = run_tcp_page_load(s, {1, kTransferBytes}, opts)) {
+      tcp_mbps.push_back(kTransferBytes * 8.0 / *plt / 1e6);
+    }
+    std::fputc('.', stderr);
+  }
+  std::fputc('\n', stderr);
+
+  const auto q = stats::summarize(quic_mbps);
+  const auto t = stats::summarize(tcp_mbps);
+  std::printf(
+      "\nAverage throughput of the 210MB download over %d runs:\n"
+      "  QUIC: %.1f Mbps (std %.1f)    [paper: 79 (31)]\n"
+      "  TCP:  %.1f Mbps (std %.1f)    [paper: 46 (12)]\n"
+      "Paper's finding: QUIC tracks the fluctuating rate more closely and\n"
+      "achieves substantially higher average throughput.\n",
+      n, q.mean, q.stddev, t.mean, t.stddev);
+  return 0;
+}

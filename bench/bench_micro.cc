@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the testbed's hot paths: wire
+// codecs, the event loop, Cubic window math, and a full end-to-end page
+// load. These guard the simulator's own performance — a slow testbed would
+// make the paper's 18-scenario sweeps impractical.
+#include <benchmark/benchmark.h>
+
+#include "cc/cubic.h"
+#include "harness/compare.h"
+#include "quic/frames.h"
+#include "sim/simulator.h"
+#include "tcp/segment.h"
+
+namespace {
+
+using namespace longlook;
+
+void BM_QuicPacketEncode(benchmark::State& state) {
+  quic::QuicPacket pkt;
+  pkt.connection_id = 0x1234;
+  pkt.packet_number = 77;
+  quic::StreamFrame sf;
+  sf.stream_id = 3;
+  sf.offset = 100000;
+  sf.data = Bytes(1200, 0xAB);
+  pkt.frames.emplace_back(std::move(sf));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quic::encode_packet(pkt));
+  }
+}
+BENCHMARK(BM_QuicPacketEncode);
+
+void BM_QuicPacketDecode(benchmark::State& state) {
+  quic::QuicPacket pkt;
+  pkt.connection_id = 0x1234;
+  pkt.packet_number = 77;
+  quic::StreamFrame sf;
+  sf.stream_id = 3;
+  sf.offset = 100000;
+  sf.data = Bytes(1200, 0xAB);
+  pkt.frames.emplace_back(std::move(sf));
+  const Bytes wire = quic::encode_packet(pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quic::decode_packet(wire));
+  }
+}
+BENCHMARK(BM_QuicPacketDecode);
+
+void BM_TcpSegmentRoundTrip(benchmark::State& state) {
+  tcp::TcpSegment seg;
+  seg.seq = 1000000;
+  seg.ack = 999999;
+  seg.ack_flag = true;
+  seg.sack = {{1001430, 1002860}, {1005720, 1011440}};
+  seg.payload = Bytes(1430, 0x5A);
+  for (auto _ : state) {
+    const Bytes wire = tcp::encode_segment(seg);
+    benchmark::DoNotOptimize(tcp::decode_segment(wire));
+  }
+}
+BENCHMARK(BM_TcpSegmentRoundTrip);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(microseconds(i), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_CubicWindowAfterAck(benchmark::State& state) {
+  Cubic cubic(1350, 2);
+  std::size_t cwnd = 32 * 1350;
+  TimePoint now{};
+  for (auto _ : state) {
+    now += milliseconds(1);
+    cwnd = cubic.window_after_ack(1350, cwnd, milliseconds(36), now);
+    if (cwnd > 1000 * 1350) {
+      cwnd = cubic.window_after_loss(cwnd);
+    }
+    benchmark::DoNotOptimize(cwnd);
+  }
+}
+BENCHMARK(BM_CubicWindowAfterAck);
+
+void BM_EndToEndPageLoad1MB(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::Scenario s;
+    s.rate_bps = 50'000'000;
+    quic::TokenCache tokens;
+    harness::CompareOptions opts;
+    auto plt = harness::run_quic_page_load(s, {1, 1024 * 1024}, opts, tokens);
+    benchmark::DoNotOptimize(plt);
+  }
+}
+BENCHMARK(BM_EndToEndPageLoad1MB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table 6 — Video QoE metrics for a one-hour YouTube video at four quality
+// levels (tiny/medium/hd720/hd2160) over a 100 Mbps link with 1% loss,
+// watched for 60 seconds: time-to-start, fraction loaded, buffering/playing
+// ratio, rebuffer counts. QUIC's benefit appears only at the highest
+// quality.
+#include "bench_common.h"
+
+#include "video/streaming.h"
+
+namespace {
+using namespace longlook;
+using namespace longlook::harness;
+
+struct QoeAgg {
+  std::vector<double> tts, loaded, ratio, rebuffers, rebuf_per_sec;
+};
+
+template <typename MakeSession>
+video::QoeMetrics run_once(const video::VideoQuality& q, std::uint64_t seed,
+                           MakeSession&& make_session) {
+  Scenario s;
+  s.rate_bps = 100'000'000;
+  s.loss_rate = 0.01;
+  s.seed = seed;
+  Testbed tb(s);
+  http::QuicObjectServer quic_server(tb.sim(), tb.server_host(), kQuicPort,
+                                     {});
+  http::TcpObjectServer tcp_server(tb.sim(), tb.server_host(), kTcpPort, {});
+  auto session = make_session(tb);
+  video::StreamingConfig cfg;
+  cfg.quality = q;
+  video::StreamingSession player(tb.sim(), *session, cfg);
+  player.start(nullptr);
+  tb.run_until([&] { return player.finished(); }, seconds(90));
+  return player.metrics();
+}
+
+void collect(QoeAgg& agg, const video::QoeMetrics& m) {
+  agg.tts.push_back(m.time_to_start_s);
+  agg.loaded.push_back(m.fraction_loaded_pct);
+  agg.ratio.push_back(m.buffer_play_ratio_pct);
+  agg.rebuffers.push_back(m.rebuffer_count);
+  agg.rebuf_per_sec.push_back(m.rebuffers_per_played_sec);
+}
+
+std::string ms(const std::vector<double>& xs, int dp) {
+  const auto s = stats::summarize(xs);
+  return format_fixed(s.mean, dp) + " (" + format_fixed(s.stddev, dp) + ")";
+}
+
+}  // namespace
+
+int main() {
+  longlook::bench::banner(
+      "Video QoE for a 1-hour video, 60 s watch, 100 Mbps + 1% loss",
+      "Table 6 (Sec. 5.3)");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const video::VideoQuality& q : video::all_qualities()) {
+    QoeAgg quic_agg;
+    QoeAgg tcp_agg;
+    for (int r = 0; r < longlook::bench::rounds(); ++r) {
+      const std::uint64_t seed = 1300 + static_cast<std::uint64_t>(r);
+      quic::TokenCache tokens;
+      collect(quic_agg, run_once(q, seed, [&](Testbed& tb) {
+                return std::make_unique<http::QuicClientSession>(
+                    tb.sim(), tb.client_host(), tb.server_host().address(),
+                    kQuicPort, quic::QuicConfig{}, tokens);
+              }));
+      collect(tcp_agg, run_once(q, seed, [&](Testbed& tb) {
+                return std::make_unique<http::H2ClientSession>(
+                    tb.sim(), tb.client_host(), tb.server_host().address(),
+                    kTcpPort, tcp::TcpConfig{});
+              }));
+      std::fputc('.', stderr);
+    }
+    rows.push_back({q.name, "QUIC", ms(quic_agg.tts, 1), ms(quic_agg.loaded, 1),
+                    ms(quic_agg.ratio, 1), ms(quic_agg.rebuffers, 1),
+                    ms(quic_agg.rebuf_per_sec, 2)});
+    rows.push_back({"", "TCP", ms(tcp_agg.tts, 1), ms(tcp_agg.loaded, 1),
+                    ms(tcp_agg.ratio, 1), ms(tcp_agg.rebuffers, 1),
+                    ms(tcp_agg.rebuf_per_sec, 2)});
+  }
+  std::fputc('\n', stderr);
+
+  print_table(std::cout, "Table 6: mean (std) QoE metrics over rounds",
+              {"Quality", "Proto", "TimeToStart(s)", "Loaded@1min(%)",
+               "Buffer/Play(%)", "#rebuffers", "rebuf/playsec"},
+              rows);
+  std::printf(
+      "\nPaper's finding: no significant QoE difference at tiny/medium/hd720;\n"
+      "at hd2160 QUIC loads more video, stalls proportionally less, and has\n"
+      "fewer rebuffers per second played.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Head-to-head: the paper's core methodology as a command-line tool.
+// Runs QUIC and TCP back-to-back over the same emulated conditions for N
+// rounds and reports the percent PLT difference with Welch's t-test.
+//
+// Usage: head_to_head [rate_mbps] [loss_pct] [extra_rtt_ms] [objects] [kb]
+// e.g.:  ./build/examples/head_to_head 10 1 0 1 1024
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/compare.h"
+
+using namespace longlook;
+using namespace longlook::harness;
+
+int main(int argc, char** argv) {
+  Scenario scenario;
+  scenario.rate_bps =
+      (argc > 1 ? std::atoll(argv[1]) : 10) * 1'000'000;
+  scenario.loss_rate = (argc > 2 ? std::atof(argv[2]) : 0.0) / 100.0;
+  scenario.extra_rtt = milliseconds(argc > 3 ? std::atoi(argv[3]) : 0);
+  Workload workload;
+  workload.object_count = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  workload.object_bytes =
+      (argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 100) * 1024;
+
+  std::printf(
+      "Comparing QUIC v34 (calibrated) vs TCP+TLS+HTTP/2:\n"
+      "  rate %lld Mbps, loss %.2f%%, extra RTT %lld ms, %zu x %zu KB\n\n",
+      static_cast<long long>(scenario.rate_bps / 1'000'000),
+      scenario.loss_rate * 100,
+      static_cast<long long>(scenario.extra_rtt.count() / 1'000'000),
+      workload.object_count, workload.object_bytes / 1024);
+
+  CompareOptions opts;
+  opts.rounds = 10;  // the paper's minimum
+  const CellResult cell = compare_plt(scenario, workload, opts);
+
+  std::printf("round   QUIC PLT(s)   TCP PLT(s)\n");
+  for (std::size_t i = 0;
+       i < cell.quic_plt_s.size() && i < cell.tcp_plt_s.size(); ++i) {
+    std::printf("%5zu   %11.3f   %10.3f\n", i + 1, cell.quic_plt_s[i],
+                cell.tcp_plt_s[i]);
+  }
+  std::printf(
+      "\nmeans: QUIC %.3f s, TCP %.3f s\n"
+      "percent difference (+ = QUIC faster): %+.1f%%\n"
+      "Welch's t-test p-value: %.4f -> %s at p<0.01\n",
+      cell.quic_mean_s, cell.tcp_mean_s, cell.pct_diff, cell.p_value,
+      cell.significant ? "SIGNIFICANT" : "not significant");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace longlook {
+
+Cubic::Cubic(std::size_t mss, int num_connections)
+    : mss_(mss), num_connections_(std::max(1, num_connections)) {}
+
+void Cubic::set_num_connections(int n) { num_connections_ = std::max(1, n); }
+
+void Cubic::reset() {
+  epoch_valid_ = false;
+  w_max_bytes_ = 0;
+  k_seconds_ = 0;
+  w_est_bytes_ = 0;
+  ack_accumulator_ = 0;
+}
+
+double Cubic::beta() const {
+  const double n = num_connections_;
+  return (n - 1.0 + kBeta) / n;
+}
+
+double Cubic::alpha() const {
+  // Reno-friendly slope making N emulated connections as aggressive as N
+  // real Reno connections: alpha = 3N^2(1-beta_N)/(1+beta_N).
+  const double n = num_connections_;
+  const double b = beta();
+  return 3.0 * n * n * (1.0 - b) / (1.0 + b);
+}
+
+std::size_t Cubic::window_after_loss(std::size_t cwnd) {
+  const double cwnd_d = static_cast<double>(cwnd);
+  // Fast convergence: if we reduce below the previous max, remember a
+  // slightly smaller max so competing flows can claim the released capacity.
+  if (epoch_valid_ && cwnd_d < w_max_bytes_) {
+    w_max_bytes_ = cwnd_d * (1.0 + beta()) / 2.0;
+  } else {
+    w_max_bytes_ = cwnd_d;
+  }
+  epoch_valid_ = false;  // new epoch starts at next ack
+  return static_cast<std::size_t>(cwnd_d * beta());
+}
+
+std::size_t Cubic::window_after_ack(std::size_t acked_bytes, std::size_t cwnd,
+                                    Duration delay_min, TimePoint now) {
+  if (!epoch_valid_) {
+    epoch_ = now;
+    epoch_valid_ = true;
+    ack_accumulator_ = 0;
+    w_est_bytes_ = static_cast<double>(cwnd);
+    if (w_max_bytes_ <= static_cast<double>(cwnd)) {
+      k_seconds_ = 0;
+      w_max_bytes_ = static_cast<double>(cwnd);
+    } else {
+      k_seconds_ = std::cbrt((w_max_bytes_ - static_cast<double>(cwnd)) /
+                             (kCubeFactor * static_cast<double>(mss_)));
+    }
+  }
+
+  // Reno-friendly window grows alpha MSS per cwnd of acked bytes.
+  ack_accumulator_ += static_cast<double>(acked_bytes);
+  const double cwnd_d = static_cast<double>(cwnd);
+  if (cwnd_d > 0) {
+    const double grow = alpha() * static_cast<double>(mss_) *
+                        ack_accumulator_ / cwnd_d;
+    w_est_bytes_ += grow;
+    ack_accumulator_ = 0;
+  }
+
+  // Cubic window one min-RTT ahead (the RFC's target for the next RTT).
+  const double t = to_seconds(now + delay_min - epoch_);
+  const double dt = t - k_seconds_;
+  const double w_cubic =
+      kCubeFactor * static_cast<double>(mss_) * dt * dt * dt + w_max_bytes_;
+
+  double target = std::max(w_cubic, w_est_bytes_);
+  // Never grow more than half the acked bytes per event (standard clamp).
+  target = std::min(target, cwnd_d + static_cast<double>(acked_bytes) / 2.0);
+  if (target < cwnd_d) target = cwnd_d;  // cubic never shrinks on an ack
+  return static_cast<std::size_t>(target);
+}
+
+}  // namespace longlook

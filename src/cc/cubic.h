@@ -1,0 +1,54 @@
+// CUBIC window-growth math (RFC 8312 / Linux tcp_cubic), byte-based, with
+// gQUIC's N-connection emulation.
+//
+// gQUIC deliberately tunes Cubic so that one multiplexed QUIC connection
+// behaves like N TCP connections (default N=2 in QUIC 34, N=1 in QUIC 37):
+// the loss backoff becomes beta_N = (N - 1 + beta) / N (gentler) and the
+// Reno-friendly slope alpha_N = 3N^2(1-beta_N)/(1+beta_N) (steeper). This is
+// one of the mechanisms behind the unfairness the paper measures (Table 4).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace longlook {
+
+class Cubic {
+ public:
+  // mss: bytes per segment; num_connections: N-connection emulation.
+  Cubic(std::size_t mss, int num_connections);
+
+  void set_num_connections(int n);
+  int num_connections() const { return num_connections_; }
+
+  // Resets epoch state (new connection or after RTO).
+  void reset();
+
+  // Window (bytes) to use after a loss event at current window `cwnd`.
+  std::size_t window_after_loss(std::size_t cwnd);
+
+  // Window after `acked_bytes` are acked at `now` with current `cwnd` and
+  // min RTT `delay_min` (used to look ahead one RTT, per the RFC).
+  std::size_t window_after_ack(std::size_t acked_bytes, std::size_t cwnd,
+                               Duration delay_min, TimePoint now);
+
+  double beta() const;
+  double alpha() const;
+
+ private:
+  static constexpr double kCubeFactor = 0.4;  // C
+  static constexpr double kBeta = 0.7;        // standard CUBIC beta
+
+  std::size_t mss_;
+  int num_connections_;
+
+  TimePoint epoch_{};
+  bool epoch_valid_ = false;
+  double w_max_bytes_ = 0;        // window before last reduction
+  double k_seconds_ = 0;          // time to regrow to w_max
+  double w_est_bytes_ = 0;        // Reno-friendly estimate
+  double ack_accumulator_ = 0;    // fractional bytes for the TCP estimate
+};
+
+}  // namespace longlook

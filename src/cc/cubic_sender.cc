@@ -1,0 +1,177 @@
+#include "cc/cubic_sender.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace longlook {
+
+namespace {
+constexpr std::size_t kUnboundedSsthresh =
+    std::numeric_limits<std::size_t>::max();
+}
+
+CubicSender::CubicSender(const RttEstimator& rtt, CubicSenderConfig config)
+    : rtt_(rtt),
+      config_(config),
+      cubic_(config.mss, config.num_connections),
+      hystart_(config.hystart),
+      tracker_(CcState::kInit),
+      cwnd_(config.initial_cwnd_packets * config.mss),
+      ssthresh_(config.ssthresh_from_rwnd_bug
+                    ? config.buggy_initial_ssthresh_packets * config.mss
+                    : kUnboundedSsthresh) {}
+
+void CubicSender::on_connection_established(TimePoint now,
+                                            std::size_t receiver_buffer_bytes) {
+  established_ = true;
+  if (!config_.ssthresh_from_rwnd_bug) {
+    // Correct behaviour: slow start may run until the receiver's advertised
+    // buffer is filled (or a loss occurs).
+    if (receiver_buffer_bytes > 0 && ssthresh_ != kUnboundedSsthresh) {
+      ssthresh_ = std::max(ssthresh_, receiver_buffer_bytes);
+    }
+  }
+  update_state(now);
+}
+
+void CubicSender::on_packet_sent(TimePoint now, PacketNumber pn,
+                                 std::size_t bytes,
+                                 std::size_t bytes_in_flight_before) {
+  (void)bytes_in_flight_before;
+  if (config_.pacing_enabled) pacer_.on_packet_sent(now, bytes);
+  largest_sent_ = std::max(largest_sent_, pn);
+  if (in_slow_start()) hystart_.on_packet_sent(pn);
+  if (in_recovery_) prr_.on_bytes_sent(bytes);
+  // Sending again means we are no longer application limited.
+  if (app_limited_) {
+    app_limited_ = false;
+    update_state(now);
+  }
+}
+
+void CubicSender::enter_recovery(TimePoint now, std::size_t bytes_in_flight) {
+  ssthresh_ = cubic_.window_after_loss(cwnd_);
+  ssthresh_ = std::max(ssthresh_, config_.min_cwnd_packets * config_.mss);
+  cwnd_ = ssthresh_;
+  in_recovery_ = true;
+  recovery_end_ = largest_sent_;
+  prr_.enter_recovery(bytes_in_flight, ssthresh_, config_.mss);
+  update_state(now);
+}
+
+void CubicSender::maybe_exit_recovery(PacketNumber largest_acked) {
+  if (in_recovery_ && largest_acked > recovery_end_) {
+    in_recovery_ = false;
+    hystart_.restart();
+  }
+}
+
+void CubicSender::grow_window(TimePoint now, const AckedPacket& acked,
+                              std::size_t prior_in_flight) {
+  // Do not grow while the window was not being used (app-limited): doing so
+  // would build false credit (this mirrors Chromium's IsCwndLimited check).
+  if (prior_in_flight + acked.bytes < cwnd_ / 2) return;
+  if (cwnd_ >= max_congestion_window()) return;
+
+  if (in_slow_start()) {
+    cwnd_ += acked.bytes;
+    if (hystart_.on_ack(acked.packet_number, rtt_.latest(), rtt_.min_rtt())) {
+      // Delay increase detected: leave slow start now (Hybrid Slow Start).
+      ssthresh_ = cwnd_;
+    }
+  } else {
+    cwnd_ = cubic_.window_after_ack(acked.bytes, cwnd_, rtt_.min_rtt(), now);
+  }
+  cwnd_ = std::min(cwnd_, max_congestion_window());
+}
+
+void CubicSender::on_congestion_event(TimePoint now,
+                                      std::size_t prior_in_flight,
+                                      const std::vector<AckedPacket>& acked,
+                                      const std::vector<LostPacket>& lost) {
+  if (!acked.empty()) rto_outstanding_ = false;
+
+  // One window reduction per round trip: further losses inside the same
+  // recovery epoch do not reduce again.
+  for (const LostPacket& lp : lost) {
+    if (!in_recovery_ || lp.packet_number > recovery_end_) {
+      enter_recovery(now, prior_in_flight);
+      break;
+    }
+  }
+
+  PacketNumber largest_acked = 0;
+  std::size_t acked_bytes = 0;
+  for (const AckedPacket& ap : acked) {
+    largest_acked = std::max(largest_acked, ap.packet_number);
+    acked_bytes += ap.bytes;
+  }
+  if (in_recovery_) {
+    prr_.on_bytes_delivered(acked_bytes);
+    maybe_exit_recovery(largest_acked);
+    if (!in_recovery_) update_state(now);
+  } else {
+    for (const AckedPacket& ap : acked) {
+      grow_window(now, ap, prior_in_flight);
+    }
+  }
+
+  if (config_.pacing_enabled) {
+    pacer_.update(cwnd_, rtt_.has_samples() ? rtt_.smoothed()
+                                            : RttEstimator::kInitialRtt,
+                  in_slow_start());
+  }
+  update_state(now);
+}
+
+void CubicSender::on_retransmission_timeout(TimePoint now) {
+  // Collapse the window; restart from slow start (RFC 5681 semantics).
+  ssthresh_ = std::max(cwnd_ / 2, config_.min_cwnd_packets * config_.mss);
+  cwnd_ = config_.min_cwnd_packets * config_.mss;
+  cubic_.reset();
+  hystart_.restart();
+  in_recovery_ = false;
+  rto_outstanding_ = true;
+  tracker_.transition(now, CcState::kRetransmissionTimeout);
+}
+
+void CubicSender::on_tail_loss_probe(TimePoint now) {
+  tracker_.transition(now, CcState::kTailLossProbe);
+}
+
+void CubicSender::on_application_limited(TimePoint now) {
+  app_limited_ = true;
+  update_state(now);
+}
+
+bool CubicSender::can_send(std::size_t bytes_in_flight) const {
+  if (in_recovery_) return prr_.can_send(bytes_in_flight);
+  return bytes_in_flight < cwnd_;
+}
+
+TimePoint CubicSender::earliest_departure(TimePoint now) const {
+  if (!config_.pacing_enabled) return now;
+  return pacer_.earliest_departure(now);
+}
+
+void CubicSender::update_state(TimePoint now) {
+  CcState next;
+  if (!established_) {
+    next = CcState::kInit;
+  } else if (rto_outstanding_) {
+    next = CcState::kRetransmissionTimeout;
+  } else if (in_recovery_) {
+    next = CcState::kRecovery;
+  } else if (app_limited_) {
+    next = CcState::kApplicationLimited;
+  } else if (cwnd_ >= max_congestion_window()) {
+    next = CcState::kCaMaxed;
+  } else if (in_slow_start()) {
+    next = CcState::kSlowStart;
+  } else {
+    next = CcState::kCongestionAvoidance;
+  }
+  tracker_.transition(now, next);
+}
+
+}  // namespace longlook

@@ -1,0 +1,39 @@
+#include "cc/hystart.h"
+
+#include <algorithm>
+
+namespace longlook {
+
+void HybridSlowStart::on_packet_sent(PacketNumber pn) { last_sent_ = pn; }
+
+void HybridSlowStart::restart() {
+  started_ = false;
+  current_round_min_ = kNoDuration;
+  samples_in_round_ = 0;
+}
+
+bool HybridSlowStart::on_ack(PacketNumber acked_pn, Duration latest_rtt,
+                             Duration min_rtt) {
+  if (!config_.enabled || min_rtt <= kNoDuration) return false;
+
+  if (!started_ || acked_pn > end_of_round_) {
+    // New round: the round ends when the most recently sent packet is acked.
+    started_ = true;
+    end_of_round_ = last_sent_;
+    current_round_min_ = kNoDuration;
+    samples_in_round_ = 0;
+  }
+
+  ++samples_in_round_;
+  if (current_round_min_ == kNoDuration || latest_rtt < current_round_min_) {
+    current_round_min_ = latest_rtt;
+  }
+  if (samples_in_round_ < config_.min_samples) return false;
+
+  const Duration increase_threshold =
+      std::clamp(min_rtt / 8, config_.min_delay_increase,
+                 config_.max_delay_increase);
+  return current_round_min_ > min_rtt + increase_threshold;
+}
+
+}  // namespace longlook

@@ -1,0 +1,49 @@
+// Hybrid Slow Start (Ha & Rhee) — delay-increase based Slow Start exit.
+//
+// The paper's root cause for QUIC's "many small objects" pathology (Sec. 5.2):
+// multiplexing bursts raise the per-round minimum RTT, HyStart reads that as
+// path congestion, and the sender exits Slow Start long before the window is
+// large — a lasting penalty when flows are short. The delay threshold is
+// configurable so the TCP substrate can use Linux's coarser clamp.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/types.h"
+#include "util/time.h"
+
+namespace longlook {
+
+struct HystartConfig {
+  bool enabled = true;
+  // Exit when current-round min RTT exceeds baseline min by
+  // clamp(baseline/8, min_increase, max_increase).
+  Duration min_delay_increase = milliseconds(4);
+  Duration max_delay_increase = milliseconds(16);
+  // Samples required in a round before the delay check may fire.
+  int min_samples = 8;
+};
+
+class HybridSlowStart {
+ public:
+  explicit HybridSlowStart(HystartConfig config) : config_(config) {}
+
+  // Called when a packet is sent during slow start (tracks rounds).
+  void on_packet_sent(PacketNumber pn);
+  // Called for each acked packet while in slow start; returns true when the
+  // sender should exit slow start now.
+  bool on_ack(PacketNumber acked_pn, Duration latest_rtt, Duration min_rtt);
+
+  void restart();  // new round measurement (after exiting/entering SS)
+  bool started() const { return started_; }
+
+ private:
+  HystartConfig config_;
+  bool started_ = false;
+  PacketNumber end_of_round_ = 0;
+  PacketNumber last_sent_ = 0;
+  Duration current_round_min_ = kNoDuration;
+  int samples_in_round_ = 0;
+};
+
+}  // namespace longlook

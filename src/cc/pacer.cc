@@ -1,0 +1,38 @@
+#include "cc/pacer.h"
+
+#include <algorithm>
+
+namespace longlook {
+
+void Pacer::update(std::size_t cwnd_bytes, Duration srtt, bool in_slow_start) {
+  if (srtt <= kNoDuration) return;
+  const double gain = in_slow_start ? 2.0 : 1.25;
+  rate_ = gain * static_cast<double>(cwnd_bytes) / to_seconds(srtt);
+}
+
+TimePoint Pacer::earliest_departure(TimePoint now) const {
+  if (rate_ <= 0 || burst_credit_ > 0) return now;
+  return std::max(now, next_send_);
+}
+
+void Pacer::on_packet_sent(TimePoint now, std::size_t bytes) {
+  if (rate_ <= 0) return;
+  // Idle long enough: restore the burst quantum.
+  if (any_sent_ && now - last_send_ > milliseconds(2)) {
+    burst_credit_ = kBurstPackets;
+  }
+  any_sent_ = true;
+  last_send_ = now;
+  const auto gap = Duration(
+      static_cast<std::int64_t>(static_cast<double>(bytes) / rate_ * 1e9));
+  if (burst_credit_ > 0) {
+    --burst_credit_;
+    // The packet exhausting the quantum starts the pacing clock so the
+    // next one is already spaced.
+    next_send_ = burst_credit_ == 0 ? now + gap : now;
+    return;
+  }
+  next_send_ = std::max(next_send_, now) + gap;
+}
+
+}  // namespace longlook

@@ -1,0 +1,44 @@
+// Packet pacing: spaces transmissions at a multiple of cwnd/SRTT.
+//
+// QUIC paces by default, which avoids the bursty drop-tail losses that
+// unpaced TCP suffers at small router buffers — a second mechanism behind
+// the fairness gap in Table 4. The TCP substrate simply doesn't construct
+// a pacer.
+//
+// Query (earliest_departure) and booking (on_packet_sent) are separate so
+// the connection can ask "when may I send" without committing to a send.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace longlook {
+
+class Pacer {
+ public:
+  Pacer() = default;
+
+  // Updates the rate from cwnd and srtt. Slow start uses a 2x multiplier,
+  // congestion avoidance 1.25x (matching gQUIC's pacing gains).
+  void update(std::size_t cwnd_bytes, Duration srtt, bool in_slow_start);
+
+  // Earliest time the next packet may leave, given `now`. Pure query.
+  TimePoint earliest_departure(TimePoint now) const;
+
+  // Books a transmission of `bytes` at `now`.
+  void on_packet_sent(TimePoint now, std::size_t bytes);
+
+  double rate_bytes_per_sec() const { return rate_; }
+
+ private:
+  double rate_ = 0;  // bytes/sec; 0 = unpaced until first update
+  TimePoint next_send_{};
+  TimePoint last_send_{};
+  bool any_sent_ = false;
+  // Allow small bursts after idle (initial quantum), like real pacers.
+  static constexpr int kBurstPackets = 10;
+  int burst_credit_ = kBurstPackets;
+};
+
+}  // namespace longlook

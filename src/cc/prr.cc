@@ -1,0 +1,30 @@
+#include "cc/prr.h"
+
+namespace longlook {
+
+void ProportionalRateReduction::enter_recovery(std::size_t bytes_in_flight,
+                                               std::size_t ssthresh,
+                                               std::size_t mss) {
+  recovery_flight_size_ = bytes_in_flight;
+  ssthresh_ = ssthresh;
+  mss_ = mss;
+  prr_delivered_ = 0;
+  prr_out_ = 0;
+}
+
+bool ProportionalRateReduction::can_send(std::size_t bytes_in_flight) const {
+  if (prr_out_ == 0 && bytes_in_flight < mss_) {
+    // Always allow at least one probe so recovery cannot deadlock.
+    return true;
+  }
+  if (bytes_in_flight > ssthresh_) {
+    // Rate-reduction phase: send proportionally to delivered data.
+    if (recovery_flight_size_ == 0) return false;
+    return prr_delivered_ * ssthresh_ > prr_out_ * recovery_flight_size_;
+  }
+  // Slow-start-like phase: limited transmit back up to ssthresh.
+  return prr_delivered_ + mss_ > prr_out_ &&
+         bytes_in_flight + mss_ <= ssthresh_;
+}
+
+}  // namespace longlook

@@ -1,0 +1,30 @@
+// Proportional Rate Reduction (RFC 6937) — paces sending during fast
+// recovery so the window converges on ssthresh without the burst/stall
+// behaviour of rate-halving. QUIC enables this by default (Sec. 2.1).
+#pragma once
+
+#include <cstdint>
+
+namespace longlook {
+
+class ProportionalRateReduction {
+ public:
+  // Entering recovery: record pipe size and ssthresh at the loss event.
+  void enter_recovery(std::size_t bytes_in_flight, std::size_t ssthresh,
+                      std::size_t mss);
+
+  void on_bytes_delivered(std::size_t bytes) { prr_delivered_ += bytes; }
+  void on_bytes_sent(std::size_t bytes) { prr_out_ += bytes; }
+
+  // May the sender transmit one more packet given current in-flight bytes?
+  bool can_send(std::size_t bytes_in_flight) const;
+
+ private:
+  std::size_t recovery_flight_size_ = 0;
+  std::size_t ssthresh_ = 0;
+  std::size_t mss_ = 0;
+  std::size_t prr_delivered_ = 0;
+  std::size_t prr_out_ = 0;
+};
+
+}  // namespace longlook

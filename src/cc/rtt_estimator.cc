@@ -1,0 +1,34 @@
+#include "cc/rtt_estimator.h"
+
+#include <algorithm>
+
+namespace longlook {
+
+void RttEstimator::update(Duration latest, Duration ack_delay) {
+  if (latest <= kNoDuration) return;
+  // Track min over the true wire sample, before ack-delay correction.
+  if (min_rtt_ == kNoDuration || latest < min_rtt_) min_rtt_ = latest;
+  // Subtract peer-reported delay unless it would dip below min (RFC 9002-ish).
+  Duration sample = latest;
+  if (ack_delay > kNoDuration && sample - ack_delay >= min_rtt_) {
+    sample -= ack_delay;
+  }
+  latest_ = sample;
+  if (samples_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const Duration diff = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+    rttvar_ = (3 * rttvar_ + diff) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  ++samples_;
+}
+
+Duration RttEstimator::retransmission_timeout() const {
+  if (samples_ == 0) return 2 * kInitialRtt;
+  Duration rto = srtt_ + 4 * rttvar_;
+  return std::clamp(rto, kMinRto, kMaxRto);
+}
+
+}  // namespace longlook

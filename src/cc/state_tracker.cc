@@ -1,0 +1,51 @@
+#include "cc/state_tracker.h"
+
+namespace longlook {
+
+std::string_view to_string(CcState s) {
+  switch (s) {
+    case CcState::kInit: return "Init";
+    case CcState::kSlowStart: return "SlowStart";
+    case CcState::kCongestionAvoidance: return "CongestionAvoidance";
+    case CcState::kCaMaxed: return "CongestionAvoidanceMaxed";
+    case CcState::kApplicationLimited: return "ApplicationLimited";
+    case CcState::kRetransmissionTimeout: return "RetransmissionTimeout";
+    case CcState::kRecovery: return "Recovery";
+    case CcState::kTailLossProbe: return "TailLossProbe";
+  }
+  return "?";
+}
+
+std::string_view to_string(BbrState s) {
+  switch (s) {
+    case BbrState::kStartup: return "Startup";
+    case BbrState::kDrain: return "Drain";
+    case BbrState::kProbeBw: return "ProbeBW";
+    case BbrState::kProbeRtt: return "ProbeRTT";
+  }
+  return "?";
+}
+
+void StateTracker::transition(TimePoint now, CcState to) {
+  if (to == state_) return;
+  StateTransitionRecord rec{now, state_, to};
+  trace_.push_back(rec);
+  state_ = to;
+  entered_ = now;
+  if (listener_) listener_(rec);
+}
+
+std::vector<double> StateTracker::time_in_state(TimePoint end) const {
+  std::vector<double> out(8, 0.0);
+  CcState cur = trace_.empty() ? state_ : trace_.front().from;
+  TimePoint since{};
+  for (const auto& rec : trace_) {
+    out[static_cast<std::size_t>(cur)] += to_seconds(rec.at - since);
+    cur = rec.to;
+    since = rec.at;
+  }
+  if (end > since) out[static_cast<std::size_t>(cur)] += to_seconds(end - since);
+  return out;
+}
+
+}  // namespace longlook

@@ -1,0 +1,51 @@
+// Execution-trace instrumentation for state-machine inference.
+//
+// This is the reproduction of the paper's "23 lines of code in 5 files":
+// senders report every CC state transition here; the tracker records the
+// timestamped trace that smi/ later turns into the inferred state machine,
+// visit statistics, and time-in-state fractions (Figs. 3 and 13).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cc/types.h"
+#include "util/time.h"
+
+namespace longlook {
+
+struct StateTransitionRecord {
+  TimePoint at{};
+  CcState from;
+  CcState to;
+};
+
+class StateTracker {
+ public:
+  explicit StateTracker(CcState initial = CcState::kInit) : state_(initial) {}
+
+  // Moves to `to` at time `now`; no-op if already there.
+  void transition(TimePoint now, CcState to);
+
+  CcState state() const { return state_; }
+  const std::vector<StateTransitionRecord>& trace() const { return trace_; }
+
+  // Closes out the trace at `end` and returns seconds spent per state.
+  // Indexed by static_cast<size_t>(CcState).
+  std::vector<double> time_in_state(TimePoint end) const;
+
+  // Optional external listener (used by tests and live dashboards).
+  void set_listener(std::function<void(const StateTransitionRecord&)> fn) {
+    listener_ = std::move(fn);
+  }
+
+ private:
+  CcState state_;
+  TimePoint entered_{};
+  std::vector<StateTransitionRecord> trace_;
+  std::function<void(const StateTransitionRecord&)> listener_;
+};
+
+}  // namespace longlook

@@ -1,0 +1,49 @@
+// Shared congestion-control vocabulary.
+//
+// CcState reproduces the paper's Table 3: the congestion-control states whose
+// visit statistics drive the inferred state machines (Figs. 3 and 13).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace longlook {
+
+using PacketNumber = std::uint64_t;
+
+// Table 3: QUIC states (Cubic CC) and their meanings.
+enum class CcState : std::uint8_t {
+  kInit,                  // initial connection establishment
+  kSlowStart,             // slow start phase
+  kCongestionAvoidance,   // normal congestion avoidance
+  kCaMaxed,               // max allowed window size is reached
+  kApplicationLimited,    // current cwnd not utilised; window won't grow
+  kRetransmissionTimeout, // loss detected due to ACK timeout
+  kRecovery,              // proportional-rate-reduction fast recovery
+  kTailLossProbe,         // recovering tail losses
+};
+
+std::string_view to_string(CcState s);
+
+// BBR's own machine (Fig. 3b).
+enum class BbrState : std::uint8_t { kStartup, kDrain, kProbeBw, kProbeRtt };
+std::string_view to_string(BbrState s);
+
+struct AckedPacket {
+  PacketNumber packet_number = 0;
+  std::size_t bytes = 0;
+  TimePoint sent_time{};
+};
+
+struct LostPacket {
+  PacketNumber packet_number = 0;
+  std::size_t bytes = 0;
+};
+
+constexpr std::size_t kDefaultMss = 1350;  // QUIC max payload, gQUIC-era
+constexpr std::size_t kTcpMss = 1430;      // MSS for the TCP substrate
+
+}  // namespace longlook

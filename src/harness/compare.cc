@@ -1,0 +1,127 @@
+#include "harness/compare.h"
+
+#include "util/logging.h"
+
+namespace longlook::harness {
+
+std::optional<double> run_quic_page_load(const Scenario& scenario,
+                                         const Workload& workload,
+                                         const CompareOptions& opts,
+                                         quic::TokenCache& tokens) {
+  Testbed tb(scenario);
+  http::QuicObjectServer server(tb.sim(), tb.server_host(), kQuicPort,
+                                opts.quic);
+  const std::shared_ptr<void> keepalive =
+      opts.setup ? opts.setup(tb) : nullptr;
+
+  const Address target = opts.quic_connect_to_mid
+                             ? tb.mid_host().address()
+                             : tb.server_host().address();
+  const Port port = opts.quic_connect_port.value_or(kQuicPort);
+  http::QuicClientSession session(tb.sim(), tb.client_host(), target, port,
+                                  opts.quic, tokens);
+  http::PageLoader loader(tb.sim(), session,
+                          {workload.object_count, workload.object_bytes});
+  loader.start();
+  const bool done = tb.run_until([&] { return loader.finished(); },
+                                 opts.timeout);
+  if (!done) return std::nullopt;
+  return to_seconds(loader.result().plt);
+}
+
+std::optional<double> run_tcp_page_load(const Scenario& scenario,
+                                        const Workload& workload,
+                                        const CompareOptions& opts) {
+  Testbed tb(scenario);
+  http::TcpObjectServer server(tb.sim(), tb.server_host(), kTcpPort, opts.tcp);
+  const std::shared_ptr<void> keepalive =
+      opts.setup ? opts.setup(tb) : nullptr;
+
+  const Address target = opts.tcp_connect_to_mid ? tb.mid_host().address()
+                                                 : tb.server_host().address();
+  const Port port = opts.tcp_connect_port.value_or(kTcpPort);
+  http::H2ClientSession session(tb.sim(), tb.client_host(), target, port,
+                                opts.tcp);
+  http::PageLoader loader(tb.sim(), session,
+                          {workload.object_count, workload.object_bytes});
+  loader.start();
+  const bool done = tb.run_until([&] { return loader.finished(); },
+                                 opts.timeout);
+  if (!done) return std::nullopt;
+  return to_seconds(loader.result().plt);
+}
+
+namespace {
+
+CellResult finish_cell(std::vector<double> quic, std::vector<double> tcp,
+                       bool all_complete) {
+  CellResult cell;
+  cell.quic_plt_s = std::move(quic);
+  cell.tcp_plt_s = std::move(tcp);
+  cell.all_complete = all_complete;
+  cell.quic_mean_s = stats::mean(cell.quic_plt_s);
+  cell.tcp_mean_s = stats::mean(cell.tcp_plt_s);
+  const auto welch = stats::welch_t_test(cell.tcp_plt_s, cell.quic_plt_s);
+  cell.p_value = welch.p_value;
+  cell.significant = welch.significant();
+  cell.pct_diff = stats::percent_difference(cell.tcp_mean_s, cell.quic_mean_s);
+  return cell;
+}
+
+}  // namespace
+
+CellResult compare_plt(const Scenario& scenario, const Workload& workload,
+                       const CompareOptions& opts) {
+  quic::TokenCache tokens;
+  if (opts.warm_zero_rtt) {
+    Scenario warm = scenario;
+    warm.seed = scenario.seed + 7919;
+    (void)run_quic_page_load(warm, {1, 1024}, opts, tokens);
+  }
+  std::vector<double> quic_plts;
+  std::vector<double> tcp_plts;
+  bool all_complete = true;
+  for (int r = 0; r < opts.rounds; ++r) {
+    Scenario round = scenario;
+    round.seed = scenario.seed + static_cast<std::uint64_t>(r) * 1000003;
+    // Back-to-back: QUIC then TCP with identical network randomness.
+    const auto q = run_quic_page_load(round, workload, opts, tokens);
+    const auto t = run_tcp_page_load(round, workload, opts);
+    if (q) quic_plts.push_back(*q); else all_complete = false;
+    if (t) tcp_plts.push_back(*t); else all_complete = false;
+  }
+  return finish_cell(std::move(quic_plts), std::move(tcp_plts), all_complete);
+}
+
+CellResult compare_quic_pair(const Scenario& scenario,
+                             const Workload& workload,
+                             const CompareOptions& a_opts,
+                             const CompareOptions& b_opts) {
+  quic::TokenCache tokens_a;
+  quic::TokenCache tokens_b;
+  if (a_opts.warm_zero_rtt) {
+    Scenario warm = scenario;
+    warm.seed = scenario.seed + 7919;
+    (void)run_quic_page_load(warm, {1, 1024}, a_opts, tokens_a);
+  }
+  if (b_opts.warm_zero_rtt) {
+    Scenario warm = scenario;
+    warm.seed = scenario.seed + 104729;
+    (void)run_quic_page_load(warm, {1, 1024}, b_opts, tokens_b);
+  }
+  std::vector<double> a_plts;
+  std::vector<double> b_plts;
+  bool all_complete = true;
+  for (int r = 0; r < a_opts.rounds; ++r) {
+    Scenario round = scenario;
+    round.seed = scenario.seed + static_cast<std::uint64_t>(r) * 1000003;
+    const auto a = run_quic_page_load(round, workload, a_opts, tokens_a);
+    const auto b = run_quic_page_load(round, workload, b_opts, tokens_b);
+    if (a) a_plts.push_back(*a); else all_complete = false;
+    if (b) b_plts.push_back(*b); else all_complete = false;
+  }
+  // Convention: "a" plays the QUIC role, "b" the baseline role.
+  return finish_cell(std::move(a_plts), std::move(b_plts), all_complete);
+}
+
+}  // namespace longlook::harness

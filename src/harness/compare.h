@@ -1,0 +1,73 @@
+// Paired QUIC-vs-TCP page-load comparison (the paper's core methodology,
+// Secs. 3.3/5.2): >=10 rounds per scenario, QUIC and TCP back-to-back with
+// the same network randomness per round, Welch's t-test at p < 0.01, and
+// persistent 0-RTT state across rounds (sockets closed, token cache kept).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "harness/testbed.h"
+#include "http/h2_session.h"
+#include "http/quic_session.h"
+#include "stats/stats.h"
+
+namespace longlook::harness {
+
+struct Workload {
+  std::size_t object_count = 1;
+  std::size_t object_bytes = 100 * 1024;
+};
+
+struct CompareOptions {
+  int rounds = 10;
+  Duration timeout = seconds(600);
+  quic::QuicConfig quic{};
+  tcp::TcpConfig tcp{};
+  // Warm the token cache with a discarded fetch so measured rounds use
+  // 0-RTT, like the paper's methodology.
+  bool warm_zero_rtt = true;
+  // Hook to customise the testbed before each run (e.g. start a variable-
+  // bandwidth schedule, place a proxy). Called after servers exist. The
+  // returned keep-alive owns whatever the hook created (proxy, schedule)
+  // and is destroyed before the testbed, so nothing outlives the simulator.
+  std::function<std::shared_ptr<void>(Testbed&)> setup;
+  // Override the address/port the client connects to (proxy experiments).
+  std::optional<Port> quic_connect_port;
+  std::optional<Port> tcp_connect_port;
+  bool quic_connect_to_mid = false;  // connect to the mid host (proxy)
+  bool tcp_connect_to_mid = false;
+};
+
+struct CellResult {
+  std::vector<double> quic_plt_s;
+  std::vector<double> tcp_plt_s;
+  double quic_mean_s = 0;
+  double tcp_mean_s = 0;
+  double pct_diff = 0;  // positive: QUIC faster
+  double p_value = 1.0;
+  bool significant = false;
+  bool all_complete = true;
+};
+
+// Runs a single QUIC page load in a fresh testbed; returns PLT seconds or
+// nullopt on timeout. The token cache persists across calls via `tokens`.
+std::optional<double> run_quic_page_load(const Scenario& scenario,
+                                         const Workload& workload,
+                                         const CompareOptions& opts,
+                                         quic::TokenCache& tokens);
+std::optional<double> run_tcp_page_load(const Scenario& scenario,
+                                        const Workload& workload,
+                                        const CompareOptions& opts);
+
+// Full comparison cell: rounds x (QUIC, TCP) with paired seeds + the t-test.
+CellResult compare_plt(const Scenario& scenario, const Workload& workload,
+                       const CompareOptions& opts);
+
+// QUIC-vs-QUIC comparison (0-RTT study, proxy study, MACW study): runs the
+// same workload under two QUIC configurations.
+CellResult compare_quic_pair(const Scenario& scenario, const Workload& workload,
+                             const CompareOptions& a_opts,
+                             const CompareOptions& b_opts);
+
+}  // namespace longlook::harness

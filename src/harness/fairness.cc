@@ -1,0 +1,121 @@
+#include "harness/fairness.h"
+
+#include <memory>
+
+#include "http/page_loader.h"
+
+namespace longlook::harness {
+namespace {
+
+struct Flow {
+  FlowReport report;
+  std::unique_ptr<http::ClientSession> session;
+  std::unique_ptr<http::PageLoader> loader;
+  std::uint64_t last_sampled_bytes = 0;
+  // Sender-side (server) connection lookup, resolved lazily after the
+  // handshake.
+  std::function<double()> cwnd_probe;
+};
+
+}  // namespace
+
+std::vector<FlowReport> run_fairness(const Scenario& scenario,
+                                     const FairnessConfig& config) {
+  Testbed tb(scenario);
+  http::QuicObjectServer quic_server(tb.sim(), tb.server_host(), kQuicPort,
+                                     config.quic);
+  http::TcpObjectServer tcp_server(tb.sim(), tb.server_host(), kTcpPort,
+                                   config.tcp);
+  const std::shared_ptr<void> keepalive =
+      config.setup ? config.setup(tb) : nullptr;
+
+  std::vector<std::unique_ptr<Flow>> flows;
+  std::vector<std::unique_ptr<quic::TokenCache>> token_caches;
+
+  for (int i = 0; i < config.quic_flows; ++i) {
+    auto flow = std::make_unique<Flow>();
+    flow->report.name = config.quic_flows > 1
+                            ? "QUIC " + std::to_string(i + 1)
+                            : "QUIC";
+    flow->report.protocol = Protocol::kQuic;
+    token_caches.push_back(std::make_unique<quic::TokenCache>());
+    auto session = std::make_unique<http::QuicClientSession>(
+        tb.sim(), tb.client_host(), tb.server_host().address(), kQuicPort,
+        config.quic, *token_caches.back());
+    http::QuicClientSession* raw = session.get();
+    quic::QuicServer* qs = &quic_server.server();
+    flow->cwnd_probe = [raw, qs]() -> double {
+      quic::QuicConnection* server_conn =
+          qs->connection(raw->connection().connection_id());
+      return server_conn != nullptr
+                 ? static_cast<double>(server_conn->congestion_window())
+                 : 0.0;
+    };
+    flow->session = std::move(session);
+    flows.push_back(std::move(flow));
+  }
+  for (int i = 0; i < config.tcp_flows; ++i) {
+    auto flow = std::make_unique<Flow>();
+    flow->report.name =
+        config.tcp_flows > 1 ? "TCP " + std::to_string(i + 1) : "TCP";
+    flow->report.protocol = Protocol::kTcp;
+    auto session = std::make_unique<http::H2ClientSession>(
+        tb.sim(), tb.client_host(), tb.server_host().address(), kTcpPort,
+        config.tcp);
+    http::H2ClientSession* raw = session.get();
+    tcp::TcpServer* ts = &tcp_server.server();
+    const Address client_addr = tb.client_host().address();
+    flow->cwnd_probe = [raw, ts, client_addr]() -> double {
+      // Identify the server-side connection by the client's ephemeral port.
+      tcp::TcpConnection* server_conn =
+          ts->connection_for(client_addr, raw->local_port());
+      return server_conn != nullptr
+                 ? static_cast<double>(server_conn->congestion_window())
+                 : 0.0;
+    };
+    flow->session = std::move(session);
+    flows.push_back(std::move(flow));
+  }
+
+  // Start every flow at t=0: one huge download each.
+  for (auto& flow : flows) {
+    flow->loader = std::make_unique<http::PageLoader>(
+        tb.sim(), *flow->session,
+        http::PageConfig{1, config.transfer_bytes});
+    flow->loader->start();
+  }
+
+  // Sampler.
+  const double interval_s = to_seconds(config.sample_interval);
+  std::function<void()> sample = [&flows, &tb, interval_s, &sample,
+                                  &config]() {
+    const double t = to_seconds(tb.sim().now().time_since_epoch());
+    for (auto& flow : flows) {
+      const std::uint64_t bytes =
+          flow->loader->result().objects[0].bytes_received;
+      FlowSample s;
+      s.t_s = t;
+      s.mbps = static_cast<double>(bytes - flow->last_sampled_bytes) * 8.0 /
+               interval_s / 1e6;
+      s.cwnd_bytes = flow->cwnd_probe();
+      flow->last_sampled_bytes = bytes;
+      flow->report.timeline.push_back(s);
+    }
+    tb.sim().schedule(config.sample_interval, sample);
+  };
+  tb.sim().schedule(config.sample_interval, sample);
+
+  tb.sim().run_until(TimePoint{} + config.duration);
+
+  std::vector<FlowReport> reports;
+  for (auto& flow : flows) {
+    flow->report.bytes_received =
+        flow->loader->result().objects[0].bytes_received;
+    flow->report.avg_mbps = static_cast<double>(flow->report.bytes_received) *
+                            8.0 / to_seconds(config.duration) / 1e6;
+    reports.push_back(std::move(flow->report));
+  }
+  return reports;
+}
+
+}  // namespace longlook::harness

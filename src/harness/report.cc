@@ -1,0 +1,84 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace longlook::harness {
+
+HeatmapCell to_heatmap_cell(const CellResult& r) {
+  HeatmapCell cell;
+  cell.pct = r.pct_diff;
+  cell.significant = r.significant;
+  cell.valid = !r.quic_plt_s.empty() && !r.tcp_plt_s.empty();
+  return cell;
+}
+
+std::string format_fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+namespace {
+
+std::string render_cell(const HeatmapCell& c) {
+  if (!c.valid) return "x";
+  if (!c.significant) return "·";  // '·' : not statistically significant
+  std::ostringstream os;
+  os << (c.pct >= 0 ? "+" : "") << format_fixed(c.pct, 1);
+  return os.str();
+}
+
+}  // namespace
+
+void print_heatmap(std::ostream& os, const std::string& title,
+                   const std::vector<std::string>& col_labels,
+                   const std::vector<std::string>& row_labels,
+                   const std::vector<std::vector<HeatmapCell>>& cells) {
+  os << "\n== " << title << " ==\n";
+  os << "(% PLT difference, QUIC over TCP: + = QUIC faster, "
+     << "· = not significant at p<0.01)\n";
+  std::size_t row_w = 4;
+  for (const auto& label : row_labels) row_w = std::max(row_w, label.size());
+  constexpr std::size_t kColW = 9;
+
+  os << std::string(row_w + 2, ' ');
+  for (const auto& label : col_labels) {
+    os << std::setw(static_cast<int>(kColW)) << label;
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < row_labels.size(); ++r) {
+    os << std::setw(static_cast<int>(row_w)) << row_labels[r] << "  ";
+    for (std::size_t c = 0; c < cells[r].size(); ++c) {
+      os << std::setw(static_cast<int>(kColW)) << render_cell(cells[r][c]);
+    }
+    os << "\n";
+  }
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  os << "\n== " << title << " ==\n";
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace longlook::harness

@@ -1,0 +1,37 @@
+// Console rendering of the paper's heatmaps and tables.
+//
+// Heatmap cells show the percent PLT difference of QUIC over TCP: positive
+// (QUIC faster) cells the paper colours red, negative blue, and
+// statistically insignificant cells white — here rendered as the number,
+// the number in parentheses, or '·' respectively.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/compare.h"
+
+namespace longlook::harness {
+
+struct HeatmapCell {
+  double pct = 0;
+  bool significant = false;
+  bool valid = false;
+};
+
+HeatmapCell to_heatmap_cell(const CellResult& r);
+
+void print_heatmap(std::ostream& os, const std::string& title,
+                   const std::vector<std::string>& col_labels,
+                   const std::vector<std::string>& row_labels,
+                   const std::vector<std::vector<HeatmapCell>>& cells);
+
+// Simple aligned table (Tables 4/5/6).
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+std::string format_fixed(double v, int decimals);
+
+}  // namespace longlook::harness

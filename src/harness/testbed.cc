@@ -1,0 +1,104 @@
+#include "harness/testbed.h"
+
+#include "util/rng.h"
+
+namespace longlook::harness {
+namespace {
+
+// Ambient environment noise: real testbeds never measure the exact same
+// PLT twice (scheduler jitter, cross traffic on the EC2 path). A small
+// per-run RTT perturbation gives the Welch's t-test honest within-condition
+// variance, so only real effects reach p < 0.01 — a deterministic simulator
+// would otherwise declare every microscopic difference "significant".
+Duration perturb(Duration base, Rng& rng) {
+  const double factor = rng.uniform(0.96, 1.04);
+  return Duration(static_cast<std::int64_t>(
+      static_cast<double>(base.count()) * factor));
+}
+
+std::int64_t perturb_rate(std::int64_t rate_bps, Rng& rng) {
+  if (rate_bps <= 0) return rate_bps;
+  return static_cast<std::int64_t>(static_cast<double>(rate_bps) *
+                                   rng.uniform(0.98, 1.02));
+}
+
+// Base path latency split (one-way):
+//   client–router 8 ms | router–mid 1 ms | mid–server 9 ms  => RTT 36 ms.
+constexpr Duration kClientRouterOneWay = milliseconds(8);
+constexpr Duration kRouterMidOneWay = milliseconds(1);
+constexpr Duration kMidServerOneWay = milliseconds(9);
+
+}  // namespace
+
+Testbed::Testbed(const Scenario& scenario) : scenario_(scenario), net_(sim_) {
+  Rng noise(scenario.seed * 104729 + 17);
+  client_ = &net_.add_host("client");
+  router_ = &net_.add_host("router");
+  mid_ = &net_.add_host("mid");
+  server_ = &net_.add_host("server");
+  client_->set_device_profile(scenario.device);
+
+  // Access link: the emulation point.
+  LinkConfig up;
+  LinkConfig down;
+  if (scenario.cellular) {
+    up = cellular_link_config(*scenario.cellular, scenario.seed * 2 + 1);
+    down = cellular_link_config(*scenario.cellular, scenario.seed * 2 + 2);
+    // The profile's RTT covers the whole path; subtract the fixed wired part.
+    const Duration fixed = 2 * (kRouterMidOneWay + kMidServerOneWay);
+    const Duration total = 2 * up.base_delay;
+    const Duration cell = total > fixed ? (total - fixed) / 2 : kNoDuration;
+    up.base_delay = cell;
+    down.base_delay = cell;
+    // Uplink of cellular is not the bottleneck for downloads; keep the cap
+    // on the downlink only (like the asymmetric real networks).
+    up.rate_bps = std::max<std::int64_t>(up.rate_bps, 1'000'000);
+  } else {
+    up.rate_bps = perturb_rate(scenario.rate_bps, noise);
+    down.rate_bps = perturb_rate(scenario.rate_bps, noise);
+    up.bucket_bytes = scenario.bucket_bytes;
+    down.bucket_bytes = scenario.bucket_bytes;
+    up.queue_limit_bytes = scenario.buffer_bytes;
+    down.queue_limit_bytes = scenario.buffer_bytes;
+    up.base_delay = perturb(kClientRouterOneWay + scenario.extra_rtt / 4, noise);
+    down.base_delay = perturb(kClientRouterOneWay + scenario.extra_rtt / 4, noise);
+    up.jitter = scenario.jitter;
+    down.jitter = scenario.jitter;
+    up.loss_rate = scenario.loss_rate;
+    down.loss_rate = scenario.loss_rate;
+    up.reorder_prob = scenario.reorder_prob;
+    down.reorder_prob = scenario.reorder_prob;
+    up.seed = scenario.seed * 2 + 1;
+    down.seed = scenario.seed * 2 + 2;
+  }
+  access_ = &net_.connect(*client_, *router_, up, down);
+
+  LinkConfig rm;
+  rm.base_delay = kRouterMidOneWay;
+  rm.seed = scenario.seed * 2 + 3;
+  DuplexLink& router_mid = net_.connect(*router_, *mid_, rm, rm);
+
+  LinkConfig ms;
+  ms.base_delay = perturb(
+      kMidServerOneWay +
+          (scenario.cellular ? kNoDuration : scenario.extra_rtt / 4),
+      noise);
+  ms.seed = scenario.seed * 2 + 4;
+  DuplexLink& mid_server = net_.connect(*mid_, *server_, ms, ms);
+
+  // Multi-hop static routes (Network::connect installed the neighbours).
+  client_->set_default_route(&access_->a_to_b());       // everything via router
+  router_->add_route(server_->address(), &router_mid.a_to_b());
+  mid_->add_route(client_->address(), &router_mid.b_to_a());
+  server_->set_default_route(&mid_server.b_to_a());     // everything via mid
+}
+
+bool Testbed::run_until(const std::function<bool()>& done, Duration timeout) {
+  const TimePoint deadline = sim_.now() + timeout;
+  while (!done() && sim_.now() < deadline) {
+    if (!sim_.step()) break;
+  }
+  return done();
+}
+
+}  // namespace longlook::harness

@@ -1,0 +1,113 @@
+// HTTP/2-lite: stream multiplexing over a single ordered TCP byte stream.
+//
+// Frames are [varint stream-id][varint length][flags][payload]. Because the
+// underlying byte stream is strictly ordered, the loss of any one segment
+// stalls *every* stream's frames behind it — TCP's head-of-line blocking,
+// which QUIC's independent streams avoid (Sec. 2.1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "http/app_stream.h"
+#include "tcp/endpoint.h"
+
+namespace longlook::http {
+
+// Incremental frame parser + writer shared by both session directions.
+class H2Framer {
+ public:
+  using FrameHandler =
+      std::function<void(std::uint64_t stream_id, BytesView data, bool fin)>;
+
+  explicit H2Framer(FrameHandler handler) : handler_(std::move(handler)) {}
+
+  static Bytes encode_frame(std::uint64_t stream_id, BytesView data, bool fin);
+  // Feed raw bytes from the transport; dispatches complete frames.
+  void feed(BytesView data);
+
+ private:
+  FrameHandler handler_;
+  Bytes buffer_;
+};
+
+class H2Session;
+
+class H2Stream final : public AppStream {
+ public:
+  H2Stream(H2Session& session, std::uint64_t id) : session_(session), id_(id) {}
+
+  void write(BytesView data, bool fin) override;
+  void set_on_data(std::function<void(BytesView, bool fin)> fn) override {
+    on_data_ = std::move(fn);
+  }
+  std::uint64_t id() const override { return id_; }
+  std::size_t write_backlog() const override;
+
+  void deliver(BytesView data, bool fin) {
+    if (fin) remote_closed_ = true;
+    if (on_data_) on_data_(data, fin);
+  }
+  bool remote_closed() const { return remote_closed_; }
+
+ private:
+  H2Session& session_;
+  std::uint64_t id_;
+  bool remote_closed_ = false;
+  std::function<void(BytesView, bool)> on_data_;
+};
+
+// Shared mux/demux logic over an established TcpConnection.
+class H2Session {
+ public:
+  // max_concurrent mirrors HTTP/2's SETTINGS_MAX_CONCURRENT_STREAMS.
+  H2Session(tcp::TcpConnection& conn, bool is_client,
+            std::size_t max_concurrent = 100);
+
+  H2Stream* open_stream();  // client side
+  bool can_open_stream() const;
+  void set_on_new_stream(std::function<void(H2Stream&)> fn) {
+    on_new_stream_ = std::move(fn);
+  }
+  void write_frame(std::uint64_t stream_id, BytesView data, bool fin);
+  tcp::TcpConnection& transport() { return conn_; }
+
+ private:
+  void on_transport_data(BytesView data, bool fin);
+  void dispatch(std::uint64_t stream_id, BytesView data, bool fin);
+
+  tcp::TcpConnection& conn_;
+  bool is_client_;
+  std::size_t max_concurrent_;
+  H2Framer framer_;
+  std::map<std::uint64_t, std::unique_ptr<H2Stream>> streams_;
+  std::uint64_t next_stream_id_;
+  std::function<void(H2Stream&)> on_new_stream_;
+};
+
+// Client session: TCP connect + TLS, then H2 mux.
+class H2ClientSession final : public ClientSession {
+ public:
+  H2ClientSession(Simulator& sim, Host& host, Address server, Port server_port,
+                  tcp::TcpConfig config, std::size_t max_concurrent = 100);
+
+  void connect(std::function<void()> on_ready) override;
+  AppStream* open_stream() override { return session_->open_stream(); }
+  bool can_open_stream() const override {
+    return session_ && session_->can_open_stream();
+  }
+  void flush() override { client_.connection().flush(); }
+  const char* protocol_name() const override { return "TCP"; }
+
+  tcp::TcpConnection& connection() { return client_.connection(); }
+  Port local_port() const { return client_.local_port(); }
+
+ private:
+  tcp::TcpClient client_;
+  std::size_t max_concurrent_;
+  std::unique_ptr<H2Session> session_;
+};
+
+}  // namespace longlook::http

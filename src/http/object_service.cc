@@ -1,0 +1,99 @@
+#include "http/object_service.h"
+
+#include <charconv>
+#include <string>
+
+#include "util/logging.h"
+
+namespace longlook::http {
+
+void ObjectService::serve(AppStream& stream, std::function<void()> flush) {
+  // Accumulate the request line, then respond.
+  auto request = std::make_shared<std::string>();
+  stream.set_on_data([this, &stream, flush = std::move(flush),
+                      request](BytesView data, bool fin) {
+    (void)fin;
+    request->append(reinterpret_cast<const char*>(data.data()), data.size());
+    const auto nl = request->find('\n');
+    if (nl == std::string::npos) return;
+    // "GET /obj<k> <size>\n"
+    const auto space = request->rfind(' ', nl);
+    std::size_t size = 0;
+    if (space != std::string::npos) {
+      std::from_chars(request->data() + space + 1, request->data() + nl, size);
+    }
+    ++requests_served_;
+    respond(stream, size, flush);
+  });
+}
+
+void ObjectService::respond(AppStream& stream, std::size_t size,
+                            const std::function<void()>& flush) {
+  // Large bodies are produced incrementally against the transport's write
+  // backlog, like a real server sendfile loop — this bounds memory for the
+  // paper's 210 MB objects and keeps the sender busy without buffering the
+  // whole response.
+  static constexpr std::size_t kChunk = 512 * 1024;
+  static constexpr std::size_t kBacklogLimit = 2 * 1024 * 1024;
+  auto do_respond = [this, &stream, size, flush] {
+    if (size <= 2 * kChunk) {
+      Bytes body(size, 0);
+      stream.write(body, /*fin=*/true);
+      if (flush) flush();
+      return;
+    }
+    auto remaining = std::make_shared<std::size_t>(size);
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [this, &stream, flush, remaining, pump] {
+      bool wrote = false;
+      while (*remaining > 0 && stream.write_backlog() < kBacklogLimit) {
+        const std::size_t n = std::min(kChunk, *remaining);
+        Bytes chunk(n, 0);
+        *remaining -= n;
+        stream.write(chunk, /*fin=*/*remaining == 0);
+        wrote = true;
+      }
+      if (wrote && flush) flush();
+      if (*remaining > 0) sim_.schedule(milliseconds(2), *pump);
+    };
+    (*pump)();
+  };
+  if (delay_rng_ != nullptr && delay_hi_ > kNoDuration) {
+    const double lo = static_cast<double>(delay_lo_.count());
+    const double hi = static_cast<double>(delay_hi_.count());
+    const Duration wait(
+        static_cast<std::int64_t>(delay_rng_->uniform(lo, hi)));
+    sim_.schedule(wait, do_respond);
+  } else {
+    do_respond();
+  }
+}
+
+QuicObjectServer::QuicObjectServer(Simulator& sim, Host& host, Port port,
+                                   quic::QuicConfig config)
+    : service_(sim), server_(sim, host, port, config) {
+  server_.set_stream_handler(
+      [this](quic::QuicStream& stream, quic::QuicConnection& conn) {
+        adapters_.push_back(std::make_unique<QuicAppStream>(stream, conn));
+        QuicAppStream* adapter = adapters_.back().get();
+        service_.serve(*adapter, [&conn] { conn.flush(); });
+      });
+}
+
+TcpObjectServer::TcpObjectServer(Simulator& sim, Host& host, Port port,
+                                 tcp::TcpConfig config,
+                                 std::size_t max_concurrent_streams)
+    : service_(sim), server_(sim, host, port, config) {
+  server_.set_accept_handler([this, max_concurrent_streams,
+                              &sim](tcp::TcpConnection& conn) {
+    (void)sim;
+    sessions_.push_back(std::make_unique<H2Session>(
+        conn, /*is_client=*/false, max_concurrent_streams));
+    H2Session* session = sessions_.back().get();
+    session->set_on_new_stream([this, session](H2Stream& stream) {
+      service_.serve(stream, [session] { session->transport().flush(); });
+    });
+  });
+}
+
+}  // namespace longlook::http

@@ -1,0 +1,79 @@
+// Server-side application: serves synthetic objects, mirroring the paper's
+// static pages of JPGs with controlled number and size of objects (Sec. 3.3).
+//
+// Request line: "GET /obj<k> <size>\n" — the client encodes the object size
+// so one service handles every workload in Table 2. The optional service
+// delay models Google App Engine's variable wait time (Fig. 2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "http/app_stream.h"
+#include "http/h2_session.h"
+#include "http/quic_session.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace longlook::http {
+
+class ObjectService {
+ public:
+  explicit ObjectService(Simulator& sim) : sim_(sim) {}
+
+  // GAE model: uniform extra wait in [lo, hi] before each response.
+  void set_service_delay(Duration lo, Duration hi, std::uint64_t seed) {
+    delay_lo_ = lo;
+    delay_hi_ = hi;
+    delay_rng_ = std::make_unique<Rng>(seed);
+  }
+
+  // Attaches request handling to `stream`. `flush` pushes the response out
+  // (transport-specific). The service keeps `stream` alive via the caller.
+  void serve(AppStream& stream, std::function<void()> flush);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void respond(AppStream& stream, std::size_t size,
+               const std::function<void()>& flush);
+
+  Simulator& sim_;
+  Duration delay_lo_ = kNoDuration;
+  Duration delay_hi_ = kNoDuration;
+  std::unique_ptr<Rng> delay_rng_;
+  std::uint64_t requests_served_ = 0;
+};
+
+// QUIC object server: standalone server binding a UDP port.
+class QuicObjectServer {
+ public:
+  QuicObjectServer(Simulator& sim, Host& host, Port port,
+                   quic::QuicConfig config);
+
+  ObjectService& service() { return service_; }
+  quic::QuicServer& server() { return server_; }
+
+ private:
+  ObjectService service_;
+  quic::QuicServer server_;
+  std::vector<std::unique_ptr<QuicAppStream>> adapters_;
+};
+
+// TCP/H2 object server: accepts connections, one H2 session per connection.
+class TcpObjectServer {
+ public:
+  TcpObjectServer(Simulator& sim, Host& host, Port port, tcp::TcpConfig config,
+                  std::size_t max_concurrent_streams = 100);
+
+  ObjectService& service() { return service_; }
+  tcp::TcpServer& server() { return server_; }
+
+ private:
+  ObjectService service_;
+  tcp::TcpServer server_;
+  std::vector<std::unique_ptr<H2Session>> sessions_;
+};
+
+}  // namespace longlook::http

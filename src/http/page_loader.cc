@@ -1,0 +1,72 @@
+#include "http/page_loader.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace longlook::http {
+
+PageLoader::PageLoader(Simulator& sim, ClientSession& session,
+                       PageConfig config)
+    : sim_(sim), session_(session), config_(config) {
+  result_.objects.resize(config_.object_count);
+}
+
+void PageLoader::start(std::function<void(const PageLoadResult&)> on_done) {
+  on_done_ = std::move(on_done);
+  result_.started = sim_.now();
+  session_.connect([this] { issue_requests(); });
+}
+
+void PageLoader::issue_requests() {
+  // Issue as many requests as the session's stream limit (MSPC /
+  // MAX_CONCURRENT_STREAMS) allows; the rest queue behind completions.
+  while (next_to_issue_ < config_.object_count && session_.can_open_stream()) {
+    request_object(next_to_issue_++);
+  }
+  session_.flush();
+}
+
+void PageLoader::request_object(std::size_t index) {
+  AppStream* stream = session_.open_stream();
+  if (stream == nullptr) {
+    --next_to_issue_;  // retry when a slot frees up
+    return;
+  }
+  ObjectTiming& timing = result_.objects[index];
+  timing.index = index;
+  timing.issued = sim_.now();
+
+  stream->set_on_data([this, &timing](BytesView data, bool fin) {
+    if (timing.bytes_received == 0 && !data.empty()) {
+      timing.first_byte = sim_.now();
+    }
+    timing.bytes_received += data.size();
+    if (fin && !timing.done) {
+      timing.done = true;
+      timing.complete = sim_.now();
+      on_object_complete();
+    }
+  });
+
+  const std::string request = "GET /obj" + std::to_string(index) + " " +
+                              std::to_string(config_.object_bytes) + "\n";
+  stream->write(BytesView(reinterpret_cast<const std::uint8_t*>(
+                              request.data()),
+                          request.size()),
+                /*fin=*/false);
+}
+
+void PageLoader::on_object_complete() {
+  ++completed_;
+  if (completed_ == config_.object_count) {
+    result_.complete = true;
+    result_.finished = sim_.now();
+    result_.plt = result_.finished - result_.started;
+    if (on_done_) on_done_(result_);
+    return;
+  }
+  issue_requests();
+}
+
+}  // namespace longlook::http

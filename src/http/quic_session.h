@@ -1,0 +1,64 @@
+// QUIC adapters for the transport-agnostic session interfaces.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "http/app_stream.h"
+#include "quic/endpoint.h"
+
+namespace longlook::http {
+
+class QuicAppStream final : public AppStream {
+ public:
+  QuicAppStream(quic::QuicStream& stream, quic::QuicConnection& conn)
+      : stream_(stream), conn_(conn) {}
+
+  void write(BytesView data, bool fin) override {
+    stream_.write(data, fin);
+    conn_.flush();
+  }
+  void set_on_data(std::function<void(BytesView, bool fin)> fn) override {
+    stream_.set_on_data(std::move(fn));
+  }
+  std::uint64_t id() const override { return stream_.id(); }
+  std::size_t write_backlog() const override { return stream_.send_backlog(); }
+
+ private:
+  quic::QuicStream& stream_;
+  quic::QuicConnection& conn_;
+};
+
+class QuicClientSession final : public ClientSession {
+ public:
+  QuicClientSession(Simulator& sim, Host& host, Address server,
+                    Port server_port, quic::QuicConfig config,
+                    quic::TokenCache& tokens)
+      : client_(sim, host, server, server_port, config, tokens) {}
+
+  void connect(std::function<void()> on_ready) override {
+    client_.connect(std::move(on_ready));
+  }
+  AppStream* open_stream() override {
+    quic::QuicStream* s = client_.connection().open_stream();
+    if (s == nullptr) return nullptr;
+    auto adapter =
+        std::make_unique<QuicAppStream>(*s, client_.connection());
+    AppStream* out = adapter.get();
+    streams_[s->id()] = std::move(adapter);
+    return out;
+  }
+  bool can_open_stream() const override {
+    return client_.connection().can_open_stream();
+  }
+  void flush() override { client_.connection().flush(); }
+  const char* protocol_name() const override { return "QUIC"; }
+
+  quic::QuicConnection& connection() { return client_.connection(); }
+
+ private:
+  quic::QuicClient client_;
+  std::map<std::uint64_t, std::unique_ptr<QuicAppStream>> streams_;
+};
+
+}  // namespace longlook::http

@@ -1,0 +1,103 @@
+#include "net/host.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace longlook {
+
+DeviceProfile desktop_profile() {
+  // i5 desktop: userspace packet handling is cheap; never the bottleneck.
+  return DeviceProfile{"desktop", microseconds(4), microseconds(2),
+                       microseconds(2)};
+}
+
+DeviceProfile nexus6_profile() {
+  // 2014 Nexus 6: app-layer consumption (~210 us per 1350-byte chunk,
+  // ~51 Mbps) sits right at the 50 Mbps WiFi rate — QUIC's gains thin out.
+  return DeviceProfile{"nexus6", microseconds(25), microseconds(8),
+                       microseconds(210)};
+}
+
+DeviceProfile motog_profile() {
+  // 2013 MotoG: consumption (~28 Mbps) is far below the link rate, so
+  // flow-control credit lags and the *server* spends most of its time
+  // ApplicationLimited (the paper's root cause for Fig. 12/13).
+  return DeviceProfile{"motog", microseconds(45), microseconds(12),
+                       microseconds(380)};
+}
+
+Host::Host(Simulator& sim, Address addr, std::string name)
+    : sim_(sim), addr_(addr), name_(std::move(name)), profile_(desktop_profile()) {}
+
+void Host::bind(IpProto proto, Port port, PacketSink* sink) {
+  sockets_[{proto, port}] = sink;
+}
+
+void Host::unbind(IpProto proto, Port port) { sockets_.erase({proto, port}); }
+
+void Host::add_route(Address dst, DirectionalLink* out) { routes_[dst] = out; }
+
+void Host::set_default_route(DirectionalLink* out) { default_route_ = out; }
+
+bool Host::send(Packet&& p) {
+  if (p.src == 0) p.src = addr_;
+  DirectionalLink* out = default_route_;
+  if (auto it = routes_.find(p.dst); it != routes_.end()) out = it->second;
+  if (out == nullptr) {
+    ++undeliverable_;
+    LL_WARN(name_ << ": no route to " << p.dst);
+    return false;
+  }
+  out->send(std::move(p));
+  return true;
+}
+
+void Host::deliver(Packet&& p) {
+  if (p.dst != addr_) {
+    // Router role: forward. Forwarding happens in the fast path and is not
+    // charged device CPU (the paper's router is never the bottleneck).
+    ++forwarded_;
+    send(std::move(p));
+    return;
+  }
+  ++received_;
+  const Duration cost = p.proto == IpProto::kUdp ? profile_.userspace_per_packet
+                                                 : profile_.kernel_per_packet;
+  TimePoint& busy_until = p.proto == IpProto::kUdp ? userspace_busy_until_
+                                                   : kernel_busy_until_;
+  const TimePoint start = std::max(sim_.now(), busy_until);
+  const TimePoint done = start + cost;
+  busy_until = done;
+  sim_.schedule_at(done, [this, pkt = std::move(p)]() mutable {
+    dispatch(std::move(pkt));
+  });
+}
+
+void Host::dispatch(Packet&& p) {
+  auto it = sockets_.find({p.proto, p.dst_port});
+  if (it == sockets_.end()) {
+    ++undeliverable_;
+    return;
+  }
+  it->second->on_packet(std::move(p));
+}
+
+Host& Network::add_host(const std::string& name) {
+  hosts_.push_back(std::make_unique<Host>(sim_, next_addr_++, name));
+  return *hosts_.back();
+}
+
+DuplexLink& Network::connect(Host& a, Host& b, const LinkConfig& a_to_b,
+                             const LinkConfig& b_to_a) {
+  links_.push_back(std::make_unique<DuplexLink>(sim_, a_to_b, b_to_a));
+  DuplexLink& link = *links_.back();
+  link.set_sink_at_b([&b](Packet&& p) { b.deliver(std::move(p)); });
+  link.set_sink_at_a([&a](Packet&& p) { a.deliver(std::move(p)); });
+  a.add_route(b.address(), &link.a_to_b());
+  b.add_route(a.address(), &link.b_to_a());
+  return link;
+}
+
+}  // namespace longlook

@@ -1,0 +1,128 @@
+// Hosts, port demultiplexing, static routing, and the device CPU model.
+//
+// A Host delivers incoming packets to bound sockets (PacketSink). Before a
+// packet reaches a sink it pays the device's per-packet processing cost on a
+// serial CPU queue — userspace cost for UDP (QUIC runs in the application),
+// kernel cost for TCP. This is the substitution for the paper's real
+// Nexus 6 / MotoG hardware: on a slow device the userspace queue backs up,
+// the QUIC client consumes (and flow-control-credits) data late, and the
+// server ends up ApplicationLimited (Figs. 12/13).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace longlook {
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(Packet&& p) = 0;
+};
+
+// Per-device packet-processing cost (serial CPU per class).
+//
+// Two userspace costs matter for QUIC and they are NOT the same thing:
+//  * `userspace_per_packet` — transport-layer datagram handling (decrypt,
+//    parse, ack). Charged on the host's serial CPU before the connection
+//    sees the packet; it delays ACK emission and inflates RTT slightly.
+//  * `app_consume_per_packet` — application-layer consumption of stream
+//    data (the renderer actually reading bytes). Charged downstream of ACK
+//    generation: it delays flow-control WINDOW_UPDATEs only. On a slow
+//    phone this is what starves the server of credit and parks it in
+//    ApplicationLimited 58% of the time (Fig. 13).
+struct DeviceProfile {
+  std::string name = "desktop";
+  // Cost to hand one received UDP datagram to the userspace transport.
+  Duration userspace_per_packet = microseconds(4);
+  // Cost for the in-kernel TCP path.
+  Duration kernel_per_packet = microseconds(2);
+  // Cost for the application to consume one MSS of QUIC stream data.
+  Duration app_consume_per_packet = microseconds(2);
+};
+
+DeviceProfile desktop_profile();
+DeviceProfile nexus6_profile();
+DeviceProfile motog_profile();
+
+class Host {
+ public:
+  Host(Simulator& sim, Address addr, std::string name);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  Address address() const { return addr_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+
+  // Socket demux: (proto, local port) -> sink. Rebinding a port replaces the
+  // previous sink (sockets close between experiment rounds, per Sec. 3.1).
+  void bind(IpProto proto, Port port, PacketSink* sink);
+  void unbind(IpProto proto, Port port);
+
+  void add_route(Address dst, DirectionalLink* out);
+  void set_default_route(DirectionalLink* out);
+
+  // Sends p out the route matching p.dst (src filled in if zero).
+  // Returns false if no route exists (packet dropped).
+  bool send(Packet&& p);
+
+  // Called by link sinks. Forwards if we are not the destination.
+  void deliver(Packet&& p);
+
+  void set_device_profile(DeviceProfile profile) { profile_ = std::move(profile); }
+  const DeviceProfile& device_profile() const { return profile_; }
+
+  std::uint64_t packets_forwarded() const { return forwarded_; }
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t packets_undeliverable() const { return undeliverable_; }
+
+ private:
+  void dispatch(Packet&& p);
+
+  Simulator& sim_;
+  Address addr_;
+  std::string name_;
+  DeviceProfile profile_;
+
+  std::map<std::pair<IpProto, Port>, PacketSink*> sockets_;
+  std::map<Address, DirectionalLink*> routes_;
+  DirectionalLink* default_route_ = nullptr;
+
+  // Serial-CPU availability per processing class.
+  TimePoint userspace_busy_until_{};
+  TimePoint kernel_busy_until_{};
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t undeliverable_ = 0;
+};
+
+// Owns hosts and links; builds topologies (client–router–server, proxies).
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  Host& add_host(const std::string& name);
+
+  // Connects a and b with a duplex link and installs direct routes.
+  DuplexLink& connect(Host& a, Host& b, const LinkConfig& a_to_b,
+                      const LinkConfig& b_to_a);
+
+  Simulator& sim() { return sim_; }
+
+ private:
+  Simulator& sim_;
+  Address next_addr_ = 1;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<DuplexLink>> links_;
+};
+
+}  // namespace longlook

@@ -1,0 +1,129 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace longlook {
+
+DirectionalLink::DirectionalLink(Simulator& sim, LinkConfig config,
+                                 DeliverFn deliver)
+    : sim_(sim),
+      config_(config),
+      deliver_(std::move(deliver)),
+      rng_(config.seed),
+      tokens_(static_cast<double>(config.bucket_bytes)),
+      last_refill_(sim.now()) {}
+
+void DirectionalLink::send(Packet&& p) {
+  ++stats_.enqueued;
+  p.emission_seq = next_emission_seq_++;
+  p.sent_at = sim_.now();
+  if (tap_) tap_(LinkEvent::kEnqueued, p, sim_.now());
+
+  if (config_.rate_bps <= 0) {
+    // Unlimited link: skip the TBF entirely.
+    emit(std::move(p));
+    return;
+  }
+
+  const auto size = static_cast<std::int64_t>(p.wire_size());
+  if (queued_bytes_ + size > config_.queue_limit_bytes) {
+    ++stats_.dropped_queue;
+    if (tap_) tap_(LinkEvent::kDroppedQueue, p, sim_.now());
+    return;
+  }
+  queued_bytes_ += size;
+  queue_.push_back(std::move(p));
+  schedule_drain();
+}
+
+void DirectionalLink::set_rate_bps(std::int64_t rate_bps) {
+  refill_tokens();
+  config_.rate_bps = rate_bps;
+  // A pending drain was computed with the old rate; it re-evaluates on fire,
+  // so nothing else to do.
+  schedule_drain();
+}
+
+void DirectionalLink::refill_tokens() {
+  const TimePoint now = sim_.now();
+  if (config_.rate_bps > 0 && now > last_refill_) {
+    const double elapsed_s = to_seconds(now - last_refill_);
+    tokens_ = std::min(static_cast<double>(config_.bucket_bytes),
+                       tokens_ + elapsed_s * static_cast<double>(config_.rate_bps) / 8.0);
+  }
+  last_refill_ = now;
+}
+
+void DirectionalLink::schedule_drain() {
+  if (drain_scheduled_ || queue_.empty()) return;
+  refill_tokens();
+  const auto head_size = static_cast<double>(queue_.front().wire_size());
+  Duration wait = kNoDuration;
+  if (tokens_ < head_size && config_.rate_bps > 0) {
+    const double deficit_bytes = head_size - tokens_;
+    wait = Duration(static_cast<std::int64_t>(
+        deficit_bytes * 8.0 * 1e9 / static_cast<double>(config_.rate_bps)) + 1);
+  }
+  drain_scheduled_ = true;
+  sim_.schedule(wait, [this] {
+    drain_scheduled_ = false;
+    drain();
+  });
+}
+
+void DirectionalLink::drain() {
+  refill_tokens();
+  while (!queue_.empty()) {
+    const auto head_size = static_cast<double>(queue_.front().wire_size());
+    if (tokens_ < head_size) break;
+    tokens_ -= head_size;
+    Packet p = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= static_cast<std::int64_t>(p.wire_size());
+    emit(std::move(p));
+  }
+  schedule_drain();
+}
+
+void DirectionalLink::emit(Packet&& p) {
+  if (config_.loss_rate > 0 && rng_.bernoulli(config_.loss_rate)) {
+    ++stats_.dropped_random;
+    if (tap_) tap_(LinkEvent::kDroppedRandom, p, sim_.now());
+    return;
+  }
+  Duration delay = config_.base_delay;
+  if (config_.reorder_prob > 0 && rng_.bernoulli(config_.reorder_prob)) {
+    // netem-style reordering: this packet skips the delay queue.
+    delay = kNoDuration;
+  } else if (config_.jitter > kNoDuration) {
+    delay = rng_.jittered(config_.base_delay, config_.jitter);
+  }
+  // Deliver at the packet's own adjusted time. Inverted adjusted times =>
+  // out-of-order delivery, exactly like netem's per-packet delay queue.
+  sim_.schedule(delay, [this, pkt = std::move(p)]() mutable {
+    if (pkt.emission_seq < last_delivered_seq_) {
+      ++stats_.delivered_out_of_order;
+    }
+    last_delivered_seq_ = std::max(last_delivered_seq_, pkt.emission_seq);
+    ++stats_.delivered;
+    stats_.bytes_delivered += static_cast<std::int64_t>(pkt.wire_size());
+    if (tap_) tap_(LinkEvent::kDelivered, pkt, sim_.now());
+    deliver_(std::move(pkt));
+  });
+}
+
+DuplexLink::DuplexLink(Simulator& sim, LinkConfig a_to_b, LinkConfig b_to_a) {
+  a_to_b_ = std::make_unique<DirectionalLink>(
+      sim, a_to_b, [this](Packet&& p) {
+        if (to_b_sink_) to_b_sink_(std::move(p));
+      });
+  b_to_a_ = std::make_unique<DirectionalLink>(
+      sim, b_to_a, [this](Packet&& p) {
+        if (to_a_sink_) to_a_sink_(std::move(p));
+      });
+}
+
+}  // namespace longlook

@@ -1,0 +1,128 @@
+// Emulated network path: token-bucket rate limiting + netem-style
+// delay/jitter/loss/reordering, faithfully reproducing the paper's router
+// (tc TBF + netem on OpenWRT).
+//
+// Crucially, jitter follows netem's semantics: each packet is assigned
+// base_delay + N(0, jitter) independently and is delivered at its own
+// adjusted time. Packets whose adjusted times invert are delivered out of
+// order — the exact artifact the paper shows breaks QUIC's fixed NACK
+// threshold (Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace longlook {
+
+struct LinkConfig {
+  // Token bucket filter. rate_bps == 0 means unlimited (no serialisation).
+  std::int64_t rate_bps = 0;
+  // Bucket/burst size in bytes. Paper-calibrated default: ~32 KB, which the
+  // authors verified lets flows reach the configured cap without favouring
+  // either protocol (Sec. 3.2).
+  std::int64_t bucket_bytes = 32 * 1024;
+  // Drop-tail queue limit in bytes (router buffer). The fairness experiments
+  // use 30 KB per the paper (Figs. 4/5, Table 4).
+  std::int64_t queue_limit_bytes = 256 * 1024;
+
+  // Netem stage.
+  Duration base_delay = kNoDuration;     // one-way extra delay
+  Duration jitter = kNoDuration;         // stddev of per-packet delay
+  double loss_rate = 0.0;                // Bernoulli loss probability
+  // Fraction of packets sent with zero extra delay (netem "reorder p%").
+  double reorder_prob = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+// Per-packet events observable via a link tap (the testbed's tcpdump).
+enum class LinkEvent : std::uint8_t {
+  kEnqueued,
+  kDroppedQueue,
+  kDroppedRandom,
+  kDelivered,
+};
+
+struct LinkStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped_queue = 0;   // router-buffer drop-tail
+  std::uint64_t dropped_random = 0;  // netem loss
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_out_of_order = 0;
+  std::int64_t bytes_delivered = 0;
+};
+
+// One direction of an emulated path.
+class DirectionalLink {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  DirectionalLink(Simulator& sim, LinkConfig config, DeliverFn deliver);
+
+  // Entry point from the sending host. May drop (queue full / random loss).
+  void send(Packet&& p);
+
+  // Live-adjustable knobs (variable-bandwidth experiments, Fig. 11).
+  void set_rate_bps(std::int64_t rate_bps);
+  std::int64_t rate_bps() const { return config_.rate_bps; }
+  void set_loss_rate(double p) { config_.loss_rate = p; }
+  void set_base_delay(Duration d) { config_.base_delay = d; }
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  std::int64_t queued_bytes() const { return queued_bytes_; }
+
+  // Observability tap: invoked for every per-packet event with the current
+  // simulated time. Used by net::PacketTrace; cheap when unset.
+  using TapFn = std::function<void(LinkEvent, const Packet&, TimePoint)>;
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+
+ private:
+  void schedule_drain();
+  void drain();
+  void emit(Packet&& p);  // after serialisation: netem stage
+  void refill_tokens();
+
+  Simulator& sim_;
+  LinkConfig config_;
+  DeliverFn deliver_;
+  Rng rng_;
+
+  std::deque<Packet> queue_;
+  std::int64_t queued_bytes_ = 0;
+  double tokens_ = 0;  // bytes of credit
+  TimePoint last_refill_{};
+  bool drain_scheduled_ = false;
+
+  std::uint64_t next_emission_seq_ = 1;
+  std::uint64_t last_delivered_seq_ = 0;
+  LinkStats stats_;
+  TapFn tap_;
+};
+
+// Full-duplex path between two attachment points.
+class DuplexLink {
+ public:
+  DuplexLink(Simulator& sim, LinkConfig a_to_b, LinkConfig b_to_a);
+
+  // Wiring: host A sends into a_to_b(); deliveries invoke the sinks set here.
+  void set_sink_at_b(DirectionalLink::DeliverFn fn) { to_b_sink_ = std::move(fn); }
+  void set_sink_at_a(DirectionalLink::DeliverFn fn) { to_a_sink_ = std::move(fn); }
+
+  DirectionalLink& a_to_b() { return *a_to_b_; }
+  DirectionalLink& b_to_a() { return *b_to_a_; }
+
+ private:
+  DirectionalLink::DeliverFn to_b_sink_;
+  DirectionalLink::DeliverFn to_a_sink_;
+  std::unique_ptr<DirectionalLink> a_to_b_;
+  std::unique_ptr<DirectionalLink> b_to_a_;
+};
+
+}  // namespace longlook

@@ -1,0 +1,43 @@
+// The unit of transfer on emulated links: an addressed datagram/segment.
+//
+// Transports serialise their real wire format (headers + frames) into
+// Packet::data; the link layer charges the encoded size plus IP overhead,
+// so byte accounting matches what tc/netem would have seen on the router.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace longlook {
+
+using Address = std::uint32_t;
+using Port = std::uint16_t;
+
+enum class IpProto : std::uint8_t { kUdp, kTcp };
+
+constexpr std::size_t kIpHeaderBytes = 20;
+constexpr std::size_t kUdpHeaderBytes = 8;
+constexpr std::size_t kMtuBytes = 1500;
+
+struct Packet {
+  Address src = 0;
+  Address dst = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+  Bytes data;
+
+  // Monotonic per-network emission counter: lets receivers and traces detect
+  // out-of-order delivery without parsing the payload.
+  std::uint64_t emission_seq = 0;
+  TimePoint sent_at{};
+
+  std::size_t wire_size() const {
+    return data.size() + kIpHeaderBytes +
+           (proto == IpProto::kUdp ? kUdpHeaderBytes : 0);
+  }
+};
+
+}  // namespace longlook

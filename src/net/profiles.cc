@@ -1,0 +1,36 @@
+#include "net/profiles.h"
+
+namespace longlook {
+
+CellularProfile verizon_3g() { return {"verizon-3g", 0.17, 109, 20, 1.71, 0.05}; }
+CellularProfile verizon_lte() { return {"verizon-lte", 4.0, 60, 15, 0.25, 0.0}; }
+CellularProfile sprint_3g() { return {"sprint-3g", 0.31, 70, 39, 1.38, 0.02}; }
+CellularProfile sprint_lte() { return {"sprint-lte", 2.4, 55, 11, 0.13, 0.02}; }
+
+std::vector<CellularProfile> cellular_profiles() {
+  return {verizon_3g(), verizon_lte(), sprint_3g(), sprint_lte()};
+}
+
+LinkConfig cellular_link_config(const CellularProfile& p, std::uint64_t seed) {
+  LinkConfig cfg;
+  cfg.rate_bps = static_cast<std::int64_t>(p.throughput_mbps * 1e6);
+  // Cellular queues are deep (bufferbloat); size relative to BDP.
+  cfg.queue_limit_bytes = 192 * 1024;
+  cfg.bucket_bytes = 16 * 1024;
+  cfg.base_delay = Duration(static_cast<std::int64_t>(p.rtt_ms * 1e6 / 2));
+  cfg.jitter = Duration(static_cast<std::int64_t>(p.rtt_std_ms * 1e6 / 2));
+  cfg.reorder_prob = p.reorder_pct / 100.0;
+  cfg.loss_rate = p.loss_pct / 100.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+LinkConfig wired_backbone_config(std::uint64_t seed) {
+  LinkConfig cfg;
+  cfg.rate_bps = 0;  // not the bottleneck
+  cfg.base_delay = milliseconds(6);  // 12 ms empirical RTT to EC2
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace longlook

@@ -1,0 +1,44 @@
+// Network profiles for the paper's operational-network experiments.
+//
+// The cellular profiles are parameterised directly from the paper's own
+// Table 5 (measured characteristics of Verizon/Sprint 3G/LTE at experiment
+// time): average throughput, RTT mean/std (std realised as netem jitter,
+// which also produces the measured reordering), explicit reordering rate,
+// and random loss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+
+namespace longlook {
+
+struct CellularProfile {
+  std::string name;
+  double throughput_mbps;  // downlink cap
+  double rtt_ms;           // path RTT average
+  double rtt_std_ms;       // RTT standard deviation
+  double reorder_pct;      // packets delivered out of order (%)
+  double loss_pct;         // random loss (%)
+};
+
+// Table 5 rows. Where the camera-ready table is ambiguous in our source text
+// (Verizon LTE RTT/jitter, Verizon 3G reordering) we use the nearest value
+// consistent with the paper's narrative; see DESIGN.md.
+std::vector<CellularProfile> cellular_profiles();
+CellularProfile verizon_3g();
+CellularProfile verizon_lte();
+CellularProfile sprint_3g();
+CellularProfile sprint_lte();
+
+// Converts a profile to per-direction link configs for the bottleneck hop.
+// One-way delay = rtt/2; jitter std split across directions.
+LinkConfig cellular_link_config(const CellularProfile& p, std::uint64_t seed);
+
+// The paper's baseline testbed path: EC2 server, 12 ms empirical RTT,
+// negligible loss (Fig. 1); plus client–router hop. Used by every emulated
+// scenario as the fixed part of the path.
+LinkConfig wired_backbone_config(std::uint64_t seed);
+
+}  // namespace longlook

@@ -1,0 +1,102 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace longlook {
+
+std::string_view to_string(LinkEvent e) {
+  switch (e) {
+    case LinkEvent::kEnqueued: return "ENQUEUE";
+    case LinkEvent::kDroppedQueue: return "DROP-Q";
+    case LinkEvent::kDroppedRandom: return "DROP-R";
+    case LinkEvent::kDelivered: return "DELIVER";
+  }
+  return "?";
+}
+
+PacketTrace::PacketTrace(DirectionalLink& link, std::size_t capacity)
+    : capacity_(capacity) {
+  link.set_tap([this](LinkEvent event, const Packet& p, TimePoint now) {
+    on_event(event, p, now);
+  });
+}
+
+void PacketTrace::on_event(LinkEvent event, const Packet& p, TimePoint now) {
+  switch (event) {
+    case LinkEvent::kEnqueued:
+      ++counters_.enqueued;
+      break;
+    case LinkEvent::kDroppedQueue:
+      ++counters_.dropped_queue;
+      break;
+    case LinkEvent::kDroppedRandom:
+      ++counters_.dropped_random;
+      break;
+    case LinkEvent::kDelivered: {
+      ++counters_.delivered;
+      const double owd_ms = to_millis(now - p.sent_at);
+      delay_sum_ms_ += owd_ms;
+      counters_.max_delay_ms = std::max(counters_.max_delay_ms, owd_ms);
+      if (p.emission_seq < last_delivered_seq_) {
+        ++counters_.reordered;
+        counters_.max_reorder_depth =
+            std::max(counters_.max_reorder_depth,
+                     last_delivered_seq_ - p.emission_seq);
+      }
+      last_delivered_seq_ = std::max(last_delivered_seq_, p.emission_seq);
+      break;
+    }
+  }
+  if (records_.size() >= capacity_) {
+    ++dropped_records_;
+    return;
+  }
+  TraceRecord rec;
+  rec.at = now;
+  rec.event = event;
+  rec.src = p.src;
+  rec.dst = p.dst;
+  rec.src_port = p.src_port;
+  rec.dst_port = p.dst_port;
+  rec.proto = p.proto;
+  rec.wire_bytes = p.wire_size();
+  rec.emission_seq = p.emission_seq;
+  rec.sent_at = p.sent_at;
+  records_.push_back(rec);
+}
+
+TraceSummary PacketTrace::summarize() const {
+  TraceSummary s = counters_;
+  if (s.enqueued > 0) {
+    s.drop_rate = static_cast<double>(s.dropped_queue + s.dropped_random) /
+                  static_cast<double>(s.enqueued);
+  }
+  if (s.delivered > 0) {
+    s.mean_delay_ms = delay_sum_ms_ / static_cast<double>(s.delivered);
+  }
+  return s;
+}
+
+std::string PacketTrace::to_text(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t lines = 0;
+  for (const TraceRecord& rec : records_) {
+    if (lines++ >= max_lines) {
+      os << "... (" << records_.size() - max_lines << " more records)\n";
+      break;
+    }
+    os << to_seconds(rec.at.time_since_epoch()) << " "
+       << to_string(rec.event) << " " << rec.src << ":" << rec.src_port
+       << " > " << rec.dst << ":" << rec.dst_port << " "
+       << (rec.proto == IpProto::kUdp ? "udp" : "tcp") << " "
+       << rec.wire_bytes << "B seq=" << rec.emission_seq;
+    if (rec.event == LinkEvent::kDelivered) {
+      os << " owd=" << to_millis(rec.at - rec.sent_at) << "ms";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace longlook

@@ -1,0 +1,65 @@
+// PacketTrace — the testbed's tcpdump: records per-packet link events via
+// the DirectionalLink tap, renders tcpdump-style text, and computes the
+// summary statistics the paper's root-cause analyses lean on (drop rate,
+// one-way delay distribution, reordering depth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+
+namespace longlook {
+
+struct TraceRecord {
+  TimePoint at{};
+  LinkEvent event = LinkEvent::kEnqueued;
+  Address src = 0;
+  Address dst = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+  std::size_t wire_bytes = 0;
+  std::uint64_t emission_seq = 0;
+  TimePoint sent_at{};  // for delivered packets: one-way delay = at - sent_at
+};
+
+struct TraceSummary {
+  std::uint64_t enqueued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_random = 0;
+  double drop_rate = 0;              // all drops / enqueued
+  double mean_delay_ms = 0;          // delivered packets
+  double max_delay_ms = 0;
+  std::uint64_t reordered = 0;       // delivered behind a later emission
+  std::uint64_t max_reorder_depth = 0;  // in packets
+};
+
+class PacketTrace {
+ public:
+  // Attaches to the link, replacing any previous tap. `capacity` bounds the
+  // in-memory record buffer (older records are dropped, counters continue).
+  explicit PacketTrace(DirectionalLink& link, std::size_t capacity = 100000);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  TraceSummary summarize() const;
+
+  // tcpdump-ish rendering of the first `max_lines` records:
+  //   12.345678 DELIVER 1:49152 > 4:443 udp 1378B seq=17 owd=18.2ms
+  std::string to_text(std::size_t max_lines = 50) const;
+
+ private:
+  void on_event(LinkEvent event, const Packet& p, TimePoint now);
+
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  std::uint64_t dropped_records_ = 0;
+  std::uint64_t last_delivered_seq_ = 0;
+  TraceSummary counters_;
+  double delay_sum_ms_ = 0;
+};
+
+std::string_view to_string(LinkEvent e);
+
+}  // namespace longlook

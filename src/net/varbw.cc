@@ -1,0 +1,33 @@
+#include "net/varbw.h"
+
+namespace longlook {
+
+VariableBandwidthSchedule::VariableBandwidthSchedule(Simulator& sim,
+                                                     std::int64_t lo_bps,
+                                                     std::int64_t hi_bps,
+                                                     Duration interval,
+                                                     std::uint64_t seed)
+    : sim_(sim), lo_(lo_bps), hi_(hi_bps), interval_(interval), rng_(seed) {}
+
+void VariableBandwidthSchedule::start() {
+  running_ = true;
+  tick();
+}
+
+void VariableBandwidthSchedule::stop() {
+  running_ = false;
+  if (pending_ != kInvalidEventId) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+void VariableBandwidthSchedule::tick() {
+  if (!running_) return;
+  current_ = lo_ + static_cast<std::int64_t>(
+                       rng_.uniform() * static_cast<double>(hi_ - lo_));
+  for (DirectionalLink* link : links_) link->set_rate_bps(current_);
+  pending_ = sim_.schedule(interval_, [this] { tick(); });
+}
+
+}  // namespace longlook

@@ -1,0 +1,43 @@
+// Variable-bandwidth schedule (Fig. 11): every `interval`, pick a new rate
+// uniformly in [lo, hi] and apply it to the managed links. The paper randomly
+// re-draws 50–150 Mbps every second.
+#pragma once
+
+#include <vector>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace longlook {
+
+class VariableBandwidthSchedule {
+ public:
+  VariableBandwidthSchedule(Simulator& sim, std::int64_t lo_bps,
+                            std::int64_t hi_bps, Duration interval,
+                            std::uint64_t seed);
+
+  // Links to drive; both directions of the bottleneck usually.
+  void manage(DirectionalLink& link) { links_.push_back(&link); }
+
+  // Starts re-drawing rates (applies one draw immediately).
+  void start();
+  void stop();
+
+  std::int64_t current_rate_bps() const { return current_; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  std::int64_t lo_;
+  std::int64_t hi_;
+  Duration interval_;
+  Rng rng_;
+  std::vector<DirectionalLink*> links_;
+  std::int64_t current_ = 0;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = false;
+};
+
+}  // namespace longlook

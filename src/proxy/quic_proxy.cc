@@ -1,0 +1,57 @@
+#include "proxy/quic_proxy.h"
+
+namespace longlook::proxy {
+
+QuicProxy::QuicProxy(Simulator& sim, Host& host, Port listen_port,
+                     Address origin, Port origin_port,
+                     quic::QuicConfig leg_config)
+    : sim_(sim),
+      host_(host),
+      origin_(origin),
+      origin_port_(origin_port),
+      leg_config_(leg_config),
+      server_(sim, host, listen_port, leg_config) {
+  server_.set_stream_handler(
+      [this](quic::QuicStream& stream, quic::QuicConnection& conn) {
+        on_downstream_stream(stream, conn);
+      });
+}
+
+void QuicProxy::on_downstream_stream(quic::QuicStream& stream,
+                                     quic::QuicConnection& downstream) {
+  auto it = upstreams_.find(downstream.connection_id());
+  if (it == upstreams_.end()) {
+    auto up = std::make_unique<Upstream>();
+    quic::QuicConfig cfg = leg_config_;
+    cfg.enable_zero_rtt = false;  // unoptimized: 1-RTT upstream, always
+    up->client = std::make_unique<quic::QuicClient>(
+        sim_, host_, origin_, origin_port_, cfg, up->tokens);
+    up->client->connect([] {});
+    it = upstreams_.emplace(downstream.connection_id(), std::move(up)).first;
+  }
+  // Bridging can happen immediately: writes queue inside the upstream
+  // connection until its handshake completes.
+  bridge(*it->second, stream, downstream);
+}
+
+void QuicProxy::bridge(Upstream& up, quic::QuicStream& down_stream,
+                       quic::QuicConnection& downstream) {
+  quic::QuicStream* up_stream = up.client->connection().open_stream();
+  if (up_stream == nullptr) return;  // stream limit exhausted
+  quic::QuicConnection* up_conn = &up.client->connection();
+  quic::QuicConnection* down_conn = &downstream;
+
+  // Request path: downstream stream -> upstream stream.
+  down_stream.set_on_data([up_stream, up_conn](BytesView data, bool fin) {
+    up_stream->write(data, fin);
+    up_conn->flush();
+  });
+  // Response path: upstream stream -> downstream stream.
+  quic::QuicStream* down_ptr = &down_stream;
+  up_stream->set_on_data([down_ptr, down_conn](BytesView data, bool fin) {
+    down_ptr->write(data, fin);
+    down_conn->flush();
+  });
+}
+
+}  // namespace longlook::proxy

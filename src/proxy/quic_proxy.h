@@ -1,0 +1,48 @@
+// QUIC proxy (Sec. 5.5, Fig. 18) — possible only because we terminate it
+// ourselves: real in-network devices cannot proxy QUIC since transport
+// headers are encrypted end-to-end.
+//
+// Terminates client QUIC connections and opens one upstream QUIC connection
+// per client connection, piping each stream through. Deliberately
+// "unoptimized" like the paper's prototype: the upstream leg has no token
+// cache, so it always pays a 1-RTT handshake — which is why proxying hurts
+// small objects (no end-to-end 0-RTT) while helping loss recovery for large
+// ones.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "quic/endpoint.h"
+
+namespace longlook::proxy {
+
+class QuicProxy {
+ public:
+  QuicProxy(Simulator& sim, Host& host, Port listen_port, Address origin,
+            Port origin_port, quic::QuicConfig leg_config);
+
+  std::size_t connections_proxied() const { return upstreams_.size(); }
+
+ private:
+  struct Upstream {
+    std::unique_ptr<quic::QuicClient> client;
+    quic::TokenCache tokens;  // fresh per connection: no 0-RTT upstream
+  };
+
+  void on_downstream_stream(quic::QuicStream& stream,
+                            quic::QuicConnection& downstream);
+  void bridge(Upstream& up, quic::QuicStream& down_stream,
+              quic::QuicConnection& downstream);
+
+  Simulator& sim_;
+  Host& host_;
+  Address origin_;
+  Port origin_port_;
+  quic::QuicConfig leg_config_;
+  quic::QuicServer server_;
+  std::map<quic::ConnectionId, std::unique_ptr<Upstream>> upstreams_;
+};
+
+}  // namespace longlook::proxy

@@ -1,0 +1,45 @@
+#include "proxy/tcp_proxy.h"
+
+namespace longlook::proxy {
+
+TcpProxy::TcpProxy(Simulator& sim, Host& host, Port listen_port,
+                   Address origin, Port origin_port, tcp::TcpConfig leg_config)
+    : sim_(sim),
+      host_(host),
+      origin_(origin),
+      origin_port_(origin_port),
+      leg_config_(leg_config),
+      server_(sim, host, listen_port, [&] {
+        // Proxy legs are transparent byte pipes: no TLS script of their own.
+        tcp::TcpConfig cfg = leg_config;
+        cfg.tls_enabled = false;
+        return cfg;
+      }()) {
+  server_.set_accept_handler(
+      [this](tcp::TcpConnection& downstream) { on_accept(downstream); });
+}
+
+void TcpProxy::on_accept(tcp::TcpConnection& downstream) {
+  auto pipe = std::make_unique<Pipe>();
+  tcp::TcpConfig cfg = leg_config_;
+  cfg.tls_enabled = false;
+  pipe->upstream = std::make_unique<tcp::TcpClient>(sim_, host_, origin_,
+                                                    origin_port_, cfg);
+  tcp::TcpConnection& up = pipe->upstream->connection();
+
+  // Downstream -> upstream. Writes before the upstream handshake completes
+  // are buffered in the upstream send buffer.
+  downstream.set_on_data([&up](BytesView data, bool fin) {
+    up.write(data, fin);
+    up.flush();
+  });
+  // Upstream -> downstream.
+  up.set_on_data([&downstream](BytesView data, bool fin) {
+    downstream.write(data, fin);
+    downstream.flush();
+  });
+  pipe->upstream->connect([] {});
+  pipes_.push_back(std::move(pipe));
+}
+
+}  // namespace longlook::proxy

@@ -1,0 +1,43 @@
+// Split-connection TCP proxy (Sec. 5.5, Fig. 16/17).
+//
+// Terminates the client's TCP connection at the proxy and opens a separate
+// upstream TCP connection to the origin, piping bytes both ways. TLS-model
+// bytes pass through end-to-end (the proxy legs run with tls_enabled=false),
+// exactly like the transparent proxies common in cellular networks: TCP's
+// control loop is split in half, loss recovery happens on the shorter
+// segment, but TLS stays end-to-end.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "tcp/endpoint.h"
+
+namespace longlook::proxy {
+
+class TcpProxy {
+ public:
+  // Listens on (host, listen_port); forwards to origin (addr, port).
+  TcpProxy(Simulator& sim, Host& host, Port listen_port, Address origin,
+           Port origin_port, tcp::TcpConfig leg_config);
+
+  std::size_t connections_proxied() const { return pipes_.size(); }
+
+ private:
+  struct Pipe {
+    std::unique_ptr<tcp::TcpClient> upstream;
+  };
+
+  void on_accept(tcp::TcpConnection& downstream);
+
+  Simulator& sim_;
+  Host& host_;
+  Address origin_;
+  Port origin_port_;
+  tcp::TcpConfig leg_config_;
+  tcp::TcpServer server_;
+  std::vector<std::unique_ptr<Pipe>> pipes_;
+};
+
+}  // namespace longlook::proxy

@@ -1,0 +1,87 @@
+#include "quic/ack_manager.h"
+
+#include <algorithm>
+
+namespace longlook::quic {
+
+bool AckManager::on_packet_received(TimePoint now, PacketNumber pn,
+                                    bool retransmittable) {
+  // Duplicate?
+  for (const AckRange& r : ranges_) {
+    if (pn >= r.lo && pn <= r.hi) return true;
+  }
+  const bool reordered = !ranges_.empty() && pn < largest_;
+  insert(pn);
+  if (pn > largest_ || largest_received_at_ == TimePoint{}) {
+    largest_ = std::max(largest_, pn);
+    largest_received_at_ = now;
+  }
+  if (retransmittable) {
+    if (pending_retransmittable_ == 0) first_pending_at_ = now;
+    ++pending_retransmittable_;
+    // A hole in the sequence (either this packet fills or creates one)
+    // triggers an immediate ACK so the sender learns about reordering fast.
+    if (reordered || ranges_.size() > 1) out_of_order_pending_ = true;
+  }
+  return false;
+}
+
+void AckManager::insert(PacketNumber pn) {
+  // Find insertion point; merge adjacent ranges.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), pn,
+      [](const AckRange& r, PacketNumber v) { return r.hi < v; });
+  if (it != ranges_.end() && pn >= it->lo && pn <= it->hi) return;
+  if (it != ranges_.end() && it->lo == pn + 1) {
+    it->lo = pn;
+    if (it != ranges_.begin() && std::prev(it)->hi + 1 == pn) {
+      std::prev(it)->hi = it->hi;
+      ranges_.erase(it);
+    }
+    return;
+  }
+  if (it != ranges_.begin() && std::prev(it)->hi + 1 == pn) {
+    std::prev(it)->hi = pn;
+    return;
+  }
+  ranges_.insert(it, AckRange{pn, pn});
+  if (ranges_.size() > config_.max_ranges) {
+    ranges_.erase(ranges_.begin());  // drop oldest information
+  }
+}
+
+bool AckManager::ack_required_now() const {
+  if (pending_retransmittable_ == 0) return false;
+  return out_of_order_pending_ ||
+         pending_retransmittable_ >= config_.ack_every_n;
+}
+
+std::optional<TimePoint> AckManager::ack_deadline() const {
+  if (pending_retransmittable_ == 0) return std::nullopt;
+  return first_pending_at_ + config_.max_ack_delay;
+}
+
+AckFrame AckManager::build_ack(TimePoint now) {
+  AckFrame f;
+  f.largest_acked = largest_;
+  f.largest_received_at = largest_received_at_;
+  f.ack_delay = largest_received_at_ == TimePoint{}
+                    ? kNoDuration
+                    : now - largest_received_at_;
+  // Descending order, largest first (wire convention).
+  f.ranges.assign(ranges_.rbegin(), ranges_.rend());
+  pending_retransmittable_ = 0;
+  out_of_order_pending_ = false;
+  return f;
+}
+
+void AckManager::on_stop_waiting(PacketNumber least_unacked) {
+  while (!ranges_.empty() && ranges_.front().hi < least_unacked) {
+    ranges_.erase(ranges_.begin());
+  }
+  if (!ranges_.empty() && ranges_.front().lo < least_unacked) {
+    ranges_.front().lo = least_unacked;
+  }
+}
+
+}  // namespace longlook::quic

@@ -1,0 +1,59 @@
+// Receiver-side ACK state: which packet numbers arrived, when to emit an
+// ACK frame, and what it contains.
+//
+// QUIC acks every 2nd retransmittable packet (ack decimation) or after a
+// 25 ms delayed-ack alarm, and acks *immediately* on out-of-order arrival.
+// ACK frames carry receive timestamps and the receiver's ack delay, giving
+// the sender unambiguous, precise RTT samples (Sec. 2.1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "quic/frames.h"
+#include "quic/types.h"
+
+namespace longlook::quic {
+
+struct AckManagerConfig {
+  std::size_t ack_every_n = 2;
+  Duration max_ack_delay = milliseconds(25);
+  std::size_t max_ranges = 64;  // bound ACK frame growth
+};
+
+class AckManager {
+ public:
+  explicit AckManager(AckManagerConfig config = {}) : config_(config) {}
+
+  // Records an arrival. Returns true if this was a duplicate (already seen).
+  bool on_packet_received(TimePoint now, PacketNumber pn,
+                          bool retransmittable);
+
+  // Does an ACK need to go out immediately (threshold or reordering)?
+  bool ack_required_now() const;
+  // Deadline of the delayed-ack alarm, if an ACK is pending at all.
+  std::optional<TimePoint> ack_deadline() const;
+  bool ack_pending() const { return pending_retransmittable_ > 0; }
+
+  // Builds the ACK frame and resets the pending state.
+  AckFrame build_ack(TimePoint now);
+
+  // Peer's STOP_WAITING: forget ranges below least_unacked.
+  void on_stop_waiting(PacketNumber least_unacked);
+
+  PacketNumber largest_received() const { return largest_; }
+  const std::vector<AckRange>& ranges() const { return ranges_; }
+
+ private:
+  void insert(PacketNumber pn);
+
+  AckManagerConfig config_;
+  std::vector<AckRange> ranges_;  // ascending, disjoint
+  PacketNumber largest_ = 0;
+  TimePoint largest_received_at_{};
+  std::size_t pending_retransmittable_ = 0;
+  bool out_of_order_pending_ = false;
+  TimePoint first_pending_at_{};
+};
+
+}  // namespace longlook::quic

@@ -1,0 +1,75 @@
+#include "quic/endpoint.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace longlook::quic {
+namespace {
+
+Port next_ephemeral_port() {
+  static std::atomic<Port> next{49152};
+  return next++;
+}
+
+std::uint64_t next_connection_id() {
+  static std::atomic<std::uint64_t> next{0x100};
+  return next++;
+}
+
+}  // namespace
+
+QuicClient::QuicClient(Simulator& sim, Host& host, Address server,
+                       Port server_port, QuicConfig config, TokenCache& tokens)
+    : sim_(sim), host_(host), local_port_(next_ephemeral_port()) {
+  connection_ = std::make_unique<QuicConnection>(
+      sim, host, Perspective::kClient, next_connection_id(), server,
+      server_port, local_port_, config, &tokens);
+  host_.bind(IpProto::kUdp, local_port_, this);
+}
+
+QuicClient::~QuicClient() { host_.unbind(IpProto::kUdp, local_port_); }
+
+void QuicClient::connect(std::function<void()> on_established) {
+  connection_->connect(std::move(on_established));
+}
+
+void QuicClient::on_packet(Packet&& p) {
+  auto decoded = decode_packet(p.data);
+  if (!decoded) {
+    LL_WARN("quic client: undecodable datagram dropped");
+    return;
+  }
+  connection_->process_packet(*decoded, sim_.now());
+}
+
+QuicServer::QuicServer(Simulator& sim, Host& host, Port port,
+                       QuicConfig config)
+    : sim_(sim), host_(host), port_(port), config_(config) {
+  host_.bind(IpProto::kUdp, port_, this);
+}
+
+QuicServer::~QuicServer() { host_.unbind(IpProto::kUdp, port_); }
+
+void QuicServer::on_packet(Packet&& p) {
+  auto decoded = decode_packet(p.data);
+  if (!decoded) {
+    LL_WARN("quic server: undecodable datagram dropped");
+    return;
+  }
+  auto it = connections_.find(decoded->connection_id);
+  if (it == connections_.end()) {
+    auto conn = std::make_unique<QuicConnection>(
+        sim_, host_, Perspective::kServer, decoded->connection_id, p.src,
+        p.src_port, port_, config_, nullptr);
+    QuicConnection* raw = conn.get();
+    raw->set_on_new_stream([this, raw](QuicStream& stream) {
+      if (stream_handler_) stream_handler_(stream, *raw);
+    });
+    it = connections_.emplace(decoded->connection_id, std::move(conn)).first;
+    latest_ = raw;
+  }
+  it->second->process_packet(*decoded, sim_.now());
+}
+
+}  // namespace longlook::quic

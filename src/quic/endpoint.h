@@ -1,0 +1,78 @@
+// QUIC endpoints: the client socket and the server dispatcher.
+//
+// QuicServer mirrors the standalone Chromium QUIC server the paper runs on
+// EC2: it binds a UDP port, demultiplexes datagrams by connection id, and
+// hands new peer-initiated streams to an application handler. QuicClient
+// owns one connection (a fresh one per experiment round, like closing all
+// sockets between runs) while the TokenCache persists for 0-RTT.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/host.h"
+#include "quic/connection.h"
+
+namespace longlook::quic {
+
+class QuicClient : public PacketSink {
+ public:
+  QuicClient(Simulator& sim, Host& host, Address server, Port server_port,
+             QuicConfig config, TokenCache& tokens);
+  ~QuicClient() override;
+  QuicClient(const QuicClient&) = delete;
+  QuicClient& operator=(const QuicClient&) = delete;
+
+  void connect(std::function<void()> on_established);
+  QuicConnection& connection() { return *connection_; }
+  const QuicConnection& connection() const { return *connection_; }
+
+  void on_packet(Packet&& p) override;
+
+ private:
+  Simulator& sim_;
+  Host& host_;
+  Port local_port_;
+  std::unique_ptr<QuicConnection> connection_;
+};
+
+class QuicServer : public PacketSink {
+ public:
+  using StreamHandler = std::function<void(QuicStream&, QuicConnection&)>;
+
+  QuicServer(Simulator& sim, Host& host, Port port, QuicConfig config);
+  ~QuicServer() override;
+  QuicServer(const QuicServer&) = delete;
+  QuicServer& operator=(const QuicServer&) = delete;
+
+  void set_stream_handler(StreamHandler handler) {
+    stream_handler_ = std::move(handler);
+  }
+
+  void on_packet(Packet&& p) override;
+
+  std::size_t connection_count() const { return connections_.size(); }
+  // Most recently created connection (instrumentation in single-client
+  // experiments: its CC state trace is "the server's" trace).
+  QuicConnection* latest_connection() { return latest_; }
+  QuicConnection* connection(ConnectionId cid) {
+    auto it = connections_.find(cid);
+    return it == connections_.end() ? nullptr : it->second.get();
+  }
+  const std::map<ConnectionId, std::unique_ptr<QuicConnection>>& connections()
+      const {
+    return connections_;
+  }
+
+ private:
+  Simulator& sim_;
+  Host& host_;
+  Port port_;
+  QuicConfig config_;
+  StreamHandler stream_handler_;
+  std::map<ConnectionId, std::unique_ptr<QuicConnection>> connections_;
+  QuicConnection* latest_ = nullptr;
+};
+
+}  // namespace longlook::quic

@@ -1,0 +1,213 @@
+#include "quic/sent_packet_manager.h"
+
+#include <algorithm>
+
+namespace longlook::quic {
+
+void SentPacketManager::on_packet_sent(PacketNumber pn, std::size_t bytes,
+                                       TimePoint now, bool retransmittable,
+                                       std::vector<StreamDataRef> data) {
+  SentPacketInfo info;
+  info.bytes = bytes;
+  info.sent_time = now;
+  info.retransmittable = retransmittable;
+  // Ack-only packets are not congestion controlled and never retransmitted,
+  // so they don't count as in flight.
+  info.in_flight = retransmittable;
+  info.data = std::move(data);
+  largest_sent_ = std::max(largest_sent_, pn);
+  if (retransmittable) {
+    last_retransmittable_sent_ = now;
+    bytes_in_flight_ += bytes;
+  }
+  packets_.emplace(pn, std::move(info));
+}
+
+Duration SentPacketManager::loss_delay(const RttEstimator& rtt) const {
+  const Duration base = std::max(rtt.smoothed(), rtt.latest());
+  const auto ns = static_cast<std::int64_t>(
+      static_cast<double>(base.count()) * config_.time_threshold);
+  // Account for path delay variance and delayed acks: with jittery links
+  // the ack for a reordered packet legitimately arrives several deviations
+  // late, and a bare 9/8*SRTT threshold would re-declare those losses
+  // forever.
+  const Duration var_guard =
+      rtt.smoothed() + 4 * rtt.mean_deviation() + milliseconds(25);
+  return std::max({Duration(ns), var_guard, milliseconds(1)});
+}
+
+void SentPacketManager::declare_lost(
+    std::map<PacketNumber, SentPacketInfo>::iterator it,
+    AckProcessResult& out) {
+  SentPacketInfo& info = it->second;
+  if (info.declared_lost || !info.in_flight) return;
+  info.declared_lost = true;
+  info.in_flight = false;
+  bytes_in_flight_ -= info.bytes;
+  ++losses_declared_;
+  out.lost.push_back({it->first, info.bytes});
+  for (const StreamDataRef& ref : info.data) out.lost_data.push_back(ref);
+  // Keep the entry so a late ACK can reveal the loss as spurious.
+}
+
+AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
+                                           RttEstimator& rtt) {
+  AckProcessResult out;
+
+  // 1. Mark acked packets.
+  for (const AckRange& range : ack.ranges) {
+    auto it = packets_.lower_bound(range.lo);
+    while (it != packets_.end() && it->first <= range.hi) {
+      SentPacketInfo& info = it->second;
+      if (info.declared_lost) {
+        // The packet we declared lost arrived after all: reordering, not
+        // loss. The adaptive mode reacts like TCP's DSACK handling and
+        // deepens the NACK threshold (RR-TCP).
+        ++spurious_losses_;
+        out.spurious_loss_detected = true;
+        if (config_.mode == LossDetectionMode::kAdaptiveNack) {
+          const std::size_t observed_gap =
+              largest_acked_ > it->first
+                  ? static_cast<std::size_t>(largest_acked_ - it->first)
+                  : nack_threshold_;
+          nack_threshold_ = std::min(config_.max_nack_threshold,
+                                     std::max(nack_threshold_, observed_gap + 1));
+        }
+        it = packets_.erase(it);
+        continue;
+      }
+      if (info.in_flight) {
+        bytes_in_flight_ -= info.bytes;
+        info.in_flight = false;
+      }
+      out.acked.push_back({it->first, info.bytes, info.sent_time});
+      out.largest_newly_acked = std::max(out.largest_newly_acked, it->first);
+      if (it->first == ack.largest_acked) {
+        rtt.update(now - info.sent_time, ack.ack_delay);
+        out.rtt_updated = true;
+        largest_acked_sent_time_ = info.sent_time;
+      }
+      it = packets_.erase(it);
+    }
+  }
+  largest_acked_ = std::max(largest_acked_, ack.largest_acked);
+
+  // 2. Loss detection over remaining unacked packets below largest_acked.
+  const Duration delay = loss_delay(rtt);
+  for (auto it = packets_.begin();
+       it != packets_.end() && it->first < largest_acked_;) {
+    SentPacketInfo& info = it->second;
+    if (!info.retransmittable) {
+      // Ack-only packet the peer never acked: nothing to track.
+      it = packets_.erase(it);
+      continue;
+    }
+    if (info.declared_lost) {
+      ++it;
+      continue;
+    }
+    bool lost = false;
+    if (config_.mode == LossDetectionMode::kTimeThreshold) {
+      lost = rtt.has_samples() && now - info.sent_time >= delay;
+    } else {
+      lost = largest_acked_ >= it->first + nack_threshold_;
+    }
+    if (lost) {
+      declare_lost(it, out);
+    }
+    ++it;
+  }
+
+  // 3. Garbage-collect stale lost entries (no late ACK within ~2 RTOs).
+  const Duration keep = 2 * rtt.retransmission_timeout();
+  for (auto it = packets_.begin(); it != packets_.end();) {
+    if (it->second.declared_lost && now - it->second.sent_time > keep) {
+      it = packets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::optional<TimePoint> SentPacketManager::earliest_loss_time(
+    const RttEstimator& rtt) const {
+  if (config_.mode != LossDetectionMode::kTimeThreshold || !rtt.has_samples()) {
+    return std::nullopt;
+  }
+  std::optional<TimePoint> earliest;
+  const Duration delay = loss_delay(rtt);
+  for (const auto& [pn, info] : packets_) {
+    if (pn >= largest_acked_) break;
+    if (info.declared_lost || !info.retransmittable || !info.in_flight) {
+      continue;
+    }
+    const TimePoint t = info.sent_time + delay;
+    if (!earliest || t < *earliest) earliest = t;
+  }
+  return earliest;
+}
+
+AckProcessResult SentPacketManager::detect_time_losses(
+    TimePoint now, const RttEstimator& rtt) {
+  AckProcessResult out;
+  if (config_.mode != LossDetectionMode::kTimeThreshold) return out;
+  const Duration delay = loss_delay(rtt);
+  for (auto it = packets_.begin();
+       it != packets_.end() && it->first < largest_acked_; ++it) {
+    SentPacketInfo& info = it->second;
+    if (info.declared_lost || !info.retransmittable || !info.in_flight) {
+      continue;
+    }
+    if (now - info.sent_time >= delay) declare_lost(it, out);
+  }
+  return out;
+}
+
+std::vector<StreamDataRef> SentPacketManager::on_retransmission_timeout() {
+  std::vector<StreamDataRef> out;
+  for (auto& [pn, info] : packets_) {
+    if (!info.in_flight) continue;
+    info.in_flight = false;
+    info.declared_lost = true;
+    bytes_in_flight_ -= info.bytes;
+    if (info.retransmittable) {
+      for (const StreamDataRef& ref : info.data) out.push_back(ref);
+    }
+  }
+  return out;
+}
+
+std::vector<StreamDataRef> SentPacketManager::tail_loss_probe_data() const {
+  // Most recent unacked retransmittable packet's data.
+  for (auto it = packets_.rbegin(); it != packets_.rend(); ++it) {
+    if (it->second.retransmittable && it->second.in_flight &&
+        !it->second.data.empty()) {
+      return it->second.data;
+    }
+  }
+  return {};
+}
+
+bool SentPacketManager::has_retransmittable_in_flight() const {
+  for (const auto& [pn, info] : packets_) {
+    if (info.retransmittable && info.in_flight) return true;
+  }
+  return false;
+}
+
+TimePoint SentPacketManager::oldest_in_flight_sent_time() const {
+  for (const auto& [pn, info] : packets_) {
+    if (info.in_flight && info.retransmittable) return info.sent_time;
+  }
+  return TimePoint{};
+}
+
+PacketNumber SentPacketManager::least_unacked() const {
+  for (const auto& [pn, info] : packets_) {
+    if (info.in_flight) return pn;
+  }
+  return largest_sent_ + 1;
+}
+
+}  // namespace longlook::quic

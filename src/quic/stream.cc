@@ -1,0 +1,173 @@
+#include "quic/stream.h"
+
+#include <algorithm>
+
+namespace longlook::quic {
+
+QuicStream::QuicStream(StreamId id, std::size_t send_window,
+                       std::size_t recv_window)
+    : id_(id),
+      peer_max_offset_(send_window),
+      recv_window_(recv_window),
+      advertised_max_(recv_window) {}
+
+void QuicStream::write(BytesView data, bool fin) {
+  send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
+  if (fin) fin_written_ = true;
+}
+
+bool QuicStream::has_pending_data() const {
+  if (!retx_.empty()) return true;
+  if (next_send_offset_ < send_buffer_.size()) return true;
+  return fin_written_ && !fin_sent_;
+}
+
+bool QuicStream::blocked_by_stream_fc() const {
+  if (!retx_.empty()) return false;  // retransmissions are within the window
+  return next_send_offset_ < send_buffer_.size() &&
+         next_send_offset_ >= peer_max_offset_;
+}
+
+std::optional<SendChunk> QuicStream::take_chunk(std::size_t max_len,
+                                                std::uint64_t conn_allowance) {
+  if (max_len == 0) return std::nullopt;
+  // Retransmissions first: fastest way to fill holes at the receiver.
+  if (!retx_.empty()) {
+    RetxRange& r = retx_.front();
+    SendChunk chunk;
+    chunk.offset = r.offset;
+    chunk.is_retransmission = true;
+    const std::size_t n = std::min(max_len, r.len);
+    chunk.data.assign(
+        send_buffer_.begin() + static_cast<std::ptrdiff_t>(r.offset),
+        send_buffer_.begin() + static_cast<std::ptrdiff_t>(r.offset + n));
+    if (n == r.len) {
+      chunk.fin = r.fin;
+      retx_.erase(retx_.begin());
+    } else {
+      r.offset += n;
+      r.len -= n;
+    }
+    return chunk;
+  }
+
+  // Fresh data, limited by stream and connection flow control.
+  const std::uint64_t fc_limit = std::min<std::uint64_t>(
+      peer_max_offset_, next_send_offset_ + conn_allowance);
+  const std::uint64_t buffered = send_buffer_.size();
+  const std::uint64_t sendable_end =
+      std::min<std::uint64_t>(buffered, fc_limit);
+  if (next_send_offset_ < sendable_end) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_len, sendable_end - next_send_offset_));
+    SendChunk chunk;
+    chunk.offset = next_send_offset_;
+    chunk.data.assign(
+        send_buffer_.begin() + static_cast<std::ptrdiff_t>(next_send_offset_),
+        send_buffer_.begin() +
+            static_cast<std::ptrdiff_t>(next_send_offset_ + n));
+    next_send_offset_ += n;
+    if (fin_written_ && next_send_offset_ == buffered) {
+      chunk.fin = true;
+      fin_sent_ = true;
+    }
+    return chunk;
+  }
+
+  // Pure FIN (no data left but fin not yet sent).
+  if (fin_written_ && !fin_sent_ && next_send_offset_ >= buffered) {
+    fin_sent_ = true;
+    SendChunk chunk;
+    chunk.offset = next_send_offset_;
+    chunk.fin = true;
+    return chunk;
+  }
+  return std::nullopt;
+}
+
+void QuicStream::requeue(std::uint64_t offset, std::size_t len, bool fin) {
+  if (fin) fin_sent_ = false;
+  if (len == 0 && !fin) return;
+  retx_.push_back({offset, len, fin});
+}
+
+void QuicStream::on_window_update(std::uint64_t max_offset) {
+  peer_max_offset_ = std::max(peer_max_offset_, max_offset);
+}
+
+QuicStream::RecvResult QuicStream::on_stream_frame(std::uint64_t offset,
+                                                   BytesView data, bool fin) {
+  RecvResult result;
+  if (fin) {
+    fin_received_ = true;
+    fin_offset_ = offset + data.size();
+  }
+  // Trim anything already delivered.
+  std::uint64_t start = offset;
+  BytesView payload = data;
+  if (start < delivered_) {
+    const std::uint64_t skip = delivered_ - start;
+    if (skip >= payload.size()) {
+      payload = {};
+      start = delivered_;
+    } else {
+      payload = payload.subspan(static_cast<std::size_t>(skip));
+      start = delivered_;
+    }
+  }
+  if (!payload.empty()) {
+    // Store unless an overlapping buffered chunk already covers it.
+    auto it = reassembly_.find(start);
+    if (it == reassembly_.end() || it->second.size() < payload.size()) {
+      reassembly_[start] = Bytes(payload.begin(), payload.end());
+    }
+  }
+  // Drain contiguous data to the application.
+  while (true) {
+    auto it = reassembly_.begin();
+    if (it == reassembly_.end() || it->first > delivered_) break;
+    Bytes chunk = std::move(it->second);
+    const std::uint64_t chunk_start = it->first;
+    reassembly_.erase(it);
+    if (chunk_start + chunk.size() <= delivered_) continue;  // stale overlap
+    const std::size_t skip = static_cast<std::size_t>(delivered_ - chunk_start);
+    BytesView fresh = BytesView(chunk).subspan(skip);
+    delivered_ += fresh.size();
+    const bool at_fin = fin_received_ && delivered_ == fin_offset_;
+    result.newly_delivered += fresh.size();
+    if (on_data_ && (!fresh.empty() || at_fin) && !fin_signalled_) {
+      if (at_fin) fin_signalled_ = true;
+      on_data_(fresh, at_fin);
+    }
+    if (at_fin) result.fin_delivered = true;
+  }
+  // Empty FIN (or FIN that became contiguous with no buffered data).
+  if (fin_received_ && delivered_ == fin_offset_ && !fin_signalled_) {
+    fin_signalled_ = true;
+    result.fin_delivered = true;
+    if (on_data_) on_data_({}, true);
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> QuicStream::take_window_update(
+    TimePoint now, Duration rtt_floor, std::size_t max_window) {
+  // Extend when half the advertised window has been consumed.
+  std::uint64_t target = consumed_ + recv_window_;
+  if (target > advertised_max_ &&
+      target - advertised_max_ >= recv_window_ / 2) {
+    // Auto-tune: back-to-back updates mean the reader outpaces the window.
+    if (max_window > recv_window_ && rtt_floor > kNoDuration &&
+        any_window_update_ && now - last_window_update_ < 2 * rtt_floor) {
+      recv_window_ = std::min(recv_window_ * 2, max_window);
+      target = consumed_ + recv_window_;
+    }
+    any_window_update_ = true;
+    last_window_update_ = now;
+    advertised_max_ = target;
+    return target;
+  }
+  return std::nullopt;
+}
+
+}  // namespace longlook::quic

@@ -1,0 +1,41 @@
+// Core QUIC identifiers and constants (gQUIC-era semantics, matching the
+// protocol generation the paper studies: versions 25–37).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/types.h"
+#include "util/time.h"
+
+namespace longlook::quic {
+
+using ConnectionId = std::uint64_t;
+using StreamId = std::uint64_t;
+using longlook::PacketNumber;
+
+// gQUIC reserves stream 1 for the crypto handshake; client-initiated data
+// streams are odd starting at 3 (we follow that convention).
+constexpr StreamId kCryptoStreamId = 1;
+constexpr StreamId kFirstClientStreamId = 3;
+
+// Maximum QUIC packet payload (fits a 1500-byte MTU with IP/UDP headers and
+// the AEAD tag).
+constexpr std::size_t kMaxPacketPayload = 1350;
+constexpr std::size_t kAeadTagBytes = 12;
+
+// Default initial flow-control windows (gQUIC-era server defaults). The
+// receiver auto-tunes them upward when it drains credit faster than ~2 RTTs
+// (like Chromium's flow-control auto-tuning), so a fast desktop client ends
+// up congestion-limited while a slow mobile consumer stays flow-limited —
+// the ApplicationLimited signature of Fig. 13.
+constexpr std::size_t kDefaultStreamWindow = 1 * 1024 * 1024;
+constexpr std::size_t kDefaultConnectionWindow = 3 * 1024 * 1024 / 2;
+constexpr std::size_t kMaxStreamWindow = 8 * 1024 * 1024;
+constexpr std::size_t kMaxConnectionWindow = 24 * 1024 * 1024;
+
+// Default maximum streams per connection (MSPC, Sec. 5.2).
+constexpr std::size_t kDefaultMaxStreams = 100;
+
+enum class Perspective : std::uint8_t { kClient, kServer };
+
+}  // namespace longlook::quic

@@ -1,0 +1,36 @@
+#include "quic/version.h"
+
+namespace longlook::quic {
+
+VersionProfile deployed_profile(int version) {
+  VersionProfile p;
+  p.version = version;
+  if (version >= 37) {
+    p.description = "QUIC " + std::to_string(version) +
+                    " (Chromium dev: MACW=2000, N=1)";
+    p.num_connections = 1;
+    p.macw_packets = 2000;
+  } else {
+    p.description = "QUIC " + std::to_string(version) +
+                    " (calibrated: MACW=430, N=2)";
+    p.num_connections = 2;
+    p.macw_packets = 430;
+  }
+  return p;
+}
+
+VersionProfile public_release_profile() {
+  VersionProfile p;
+  p.version = 34;
+  p.description = "QUIC 34 public Chromium-52 release (uncalibrated)";
+  p.num_connections = 2;
+  p.macw_packets = 107;       // conservative default in the public release
+  p.ssthresh_rwnd_bug = true; // early slow-start exit bug (Sec. 4.1)
+  return p;
+}
+
+std::vector<int> studied_versions() {
+  return {25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37};
+}
+
+}  // namespace longlook::quic

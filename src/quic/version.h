@@ -1,0 +1,37 @@
+// Historical QUIC version profiles (Sec. 5.4).
+//
+// The paper's longitudinal result: with identical configuration, versions
+// 25–36 perform identically; v37's visible change is the larger default
+// maximum allowed congestion window (2000 packets, from Chromium dev) plus
+// N=1 connection emulation. The "public release" (Chromium 52) configuration
+// additionally has MACW=107 and the ssthresh-not-updated bug — the two
+// defects the authors had to fix to calibrate against Google's servers
+// (Sec. 4.1, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace longlook::quic {
+
+struct VersionProfile {
+  int version = 34;
+  std::string description;
+  int num_connections = 2;         // Cubic N-connection emulation
+  std::size_t macw_packets = 430;  // maximum allowed congestion window
+  bool ssthresh_rwnd_bug = false;  // Chromium-52 server bug
+  std::size_t nack_threshold = 3;  // fixed fast-retransmit NACK threshold
+};
+
+// Profile as deployed by Google at that version (post-calibration).
+VersionProfile deployed_profile(int version);
+
+// Profile of the public Chromium-52 code release, before the paper's
+// calibration fixes ("integration testing only", Sec. 4.1).
+VersionProfile public_release_profile();
+
+// All versions the paper tested (25..37; 26..33 behave as 25/34).
+std::vector<int> studied_versions();
+
+}  // namespace longlook::quic

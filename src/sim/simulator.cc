@@ -1,0 +1,77 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace longlook {
+
+EventId Simulator::push(TimePoint when, std::function<void()> fn) {
+  auto ev = std::make_shared<Event>();
+  ev->when = when;
+  ev->seq = next_seq_++;
+  ev->id = next_id_++;
+  ev->fn = std::move(fn);
+  pending_.emplace(ev->id, ev);
+  queue_.push(ev);
+  ++live_events_;
+  return ev->id;
+}
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < kNoDuration) delay = kNoDuration;
+  return push(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  return push(when, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  if (auto ev = it->second.lock()) {
+    if (!ev->cancelled) {
+      ev->cancelled = true;
+      --live_events_;
+    }
+  }
+  pending_.erase(it);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    std::shared_ptr<Event> ev = queue_.top();
+    queue_.pop();
+    if (ev->cancelled) continue;
+    pending_.erase(ev->id);
+    --live_events_;
+    now_ = ev->when;
+    ++dispatched_;
+    ev->fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n >= max_events) return false;
+  }
+  return true;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    std::shared_ptr<Event> ev = queue_.top();
+    if (ev->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (ev->when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace longlook

@@ -1,0 +1,80 @@
+// Discrete-event simulator: the single source of time for the whole testbed.
+//
+// Components schedule callbacks at absolute or relative virtual times; the
+// simulator dispatches them in (time, insertion-order) order, so simultaneous
+// events run FIFO and results are bit-for-bit repeatable for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace longlook {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (clamped at now for negative).
+  EventId schedule(Duration delay, std::function<void()> fn);
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  // Cancels a pending event. Safe to call with stale/fired ids.
+  void cancel(EventId id);
+
+  // Runs one event; false if the queue is empty.
+  bool step();
+  // Runs events until the queue drains (bounded by max_events as a runaway
+  // guard; returns false if the bound was hit).
+  bool run(std::uint64_t max_events = 500'000'000);
+  // Runs events with time <= deadline; leaves later events queued.
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct Later {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  EventId push(TimePoint when, std::function<void()> fn);
+
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
+                      Later>
+      queue_;
+  // Pending-event lookup for O(1) cancel; entries removed as events fire.
+  std::unordered_map<EventId, std::weak_ptr<Event>> pending_;
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace longlook

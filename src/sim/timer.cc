@@ -1,0 +1,25 @@
+#include "sim/timer.h"
+
+namespace longlook {
+
+void Timer::set(Duration delay) { set_at(sim_.now() + delay); }
+
+void Timer::set_at(TimePoint when) {
+  cancel();
+  deadline_ = when;
+  id_ = sim_.schedule_at(when, [this] { fire(); });
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEventId) {
+    sim_.cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+void Timer::fire() {
+  id_ = kInvalidEventId;
+  on_fire_();
+}
+
+}  // namespace longlook

@@ -1,0 +1,39 @@
+// One-shot reschedulable timer: the building block for RTO, TLP and pacing.
+//
+// A Timer owns at most one pending simulator event; set() replaces any
+// previous deadline, cancel() is idempotent, and destruction cancels, so a
+// timer can never fire into a destroyed connection.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace longlook {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)arms the timer `delay` from now.
+  void set(Duration delay);
+  void set_at(TimePoint when);
+  void cancel();
+
+  bool armed() const { return id_ != kInvalidEventId; }
+  TimePoint deadline() const { return deadline_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId id_ = kInvalidEventId;
+  TimePoint deadline_{};
+};
+
+}  // namespace longlook

@@ -1,0 +1,136 @@
+#include "smi/inference.h"
+
+#include <sstream>
+
+namespace longlook::smi {
+
+Trace trace_from_tracker(const StateTracker& tracker, TimePoint start,
+                         TimePoint end) {
+  Trace trace;
+  trace.end = end;
+  const auto& recs = tracker.trace();
+  // Initial state.
+  const CcState initial = recs.empty() ? tracker.state() : recs.front().from;
+  trace.events.push_back({start, std::string(to_string(initial))});
+  for (const auto& rec : recs) {
+    trace.events.push_back({rec.at, std::string(to_string(rec.to))});
+  }
+  return trace;
+}
+
+Trace trace_from_bbr(const std::vector<BbrTransition>& transitions,
+                     TimePoint start, TimePoint end) {
+  Trace trace;
+  trace.end = end;
+  const BbrState initial =
+      transitions.empty() ? BbrState::kStartup : transitions.front().from;
+  trace.events.push_back({start, std::string(to_string(initial))});
+  for (const auto& t : transitions) {
+    trace.events.push_back({t.at, std::string(to_string(t.to))});
+  }
+  return trace;
+}
+
+void StateMachineInference::add_trace(const Trace& trace) {
+  if (trace.events.empty()) return;
+  traces_.push_back(trace);
+  initial_states_.insert(trace.events.front().state);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& ev = trace.events[i];
+    ++visit_counts_[ev.state];
+    const TimePoint until =
+        i + 1 < trace.events.size() ? trace.events[i + 1].at : trace.end;
+    const double dt = to_seconds(until - ev.at);
+    if (dt > 0) {
+      time_in_state_[ev.state] += dt;
+      total_time_ += dt;
+    }
+    if (i + 1 < trace.events.size()) {
+      ++edge_counts_[{ev.state, trace.events[i + 1].state}];
+    }
+  }
+}
+
+std::vector<std::string> StateMachineInference::states() const {
+  std::vector<std::string> out;
+  out.reserve(visit_counts_.size());
+  for (const auto& [state, count] : visit_counts_) out.push_back(state);
+  return out;
+}
+
+std::vector<StateMachineInference::Edge> StateMachineInference::edges() const {
+  // Out-degree totals for probabilities.
+  std::map<std::string, std::uint64_t> outgoing;
+  for (const auto& [edge, count] : edge_counts_) outgoing[edge.first] += count;
+  std::vector<Edge> out;
+  for (const auto& [edge, count] : edge_counts_) {
+    Edge e;
+    e.from = edge.first;
+    e.to = edge.second;
+    e.count = count;
+    e.probability = outgoing[edge.first] > 0
+                        ? static_cast<double>(count) /
+                              static_cast<double>(outgoing[edge.first])
+                        : 0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t StateMachineInference::visits(const std::string& state) const {
+  auto it = visit_counts_.find(state);
+  return it == visit_counts_.end() ? 0 : it->second;
+}
+
+double StateMachineInference::time_fraction(const std::string& state) const {
+  if (total_time_ <= 0) return 0;
+  auto it = time_in_state_.find(state);
+  return it == time_in_state_.end() ? 0 : it->second / total_time_;
+}
+
+bool StateMachineInference::always_precedes(const std::string& a,
+                                            const std::string& b) const {
+  bool b_seen_anywhere = false;
+  for (const Trace& trace : traces_) {
+    bool a_seen = false;
+    for (const TraceEvent& ev : trace.events) {
+      if (ev.state == a) a_seen = true;
+      if (ev.state == b) {
+        b_seen_anywhere = true;
+        if (!a_seen) return false;
+      }
+    }
+  }
+  return b_seen_anywhere;  // vacuous truth is not interesting
+}
+
+bool StateMachineInference::never_followed_by(const std::string& a,
+                                              const std::string& b) const {
+  for (const Trace& trace : traces_) {
+    bool a_seen = false;
+    for (const TraceEvent& ev : trace.events) {
+      if (a_seen && ev.state == b) return false;
+      if (ev.state == a) a_seen = true;
+    }
+  }
+  return true;
+}
+
+std::string StateMachineInference::to_dot(const std::string& graph_name) const {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=ellipse, fontsize=11];\n";
+  for (const auto& [state, count] : visit_counts_) {
+    os << "  \"" << state << "\" [label=\"" << state << "\\n"
+       << static_cast<int>(time_fraction(state) * 1000) / 10.0
+       << "% of time\"];\n";
+  }
+  for (const Edge& e : edges()) {
+    os << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+       << static_cast<int>(e.probability * 100) / 100.0 << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace longlook::smi

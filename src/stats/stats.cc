@@ -1,0 +1,147 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace longlook::stats {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (s.n == 0) return s;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double ss = 0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.variance = ss / static_cast<double>(s.n - 1);
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double mean(std::span<const double> xs) { return summarize(xs).mean; }
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[mid];
+  return (xs[mid - 1] + xs[mid]) / 2.0;
+}
+
+namespace {
+
+// log Gamma via Lanczos approximation.
+double log_gamma(double x) {
+  static const double coeffs[] = {
+      676.5203681218851,     -1259.1392167224028,  771.32342877765313,
+      -176.61502916214059,   12.507343278686905,   -0.13857109526572012,
+      9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(3.14159265358979323846 /
+                    std::sin(3.14159265358979323846 * x)) -
+           log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = 0.99999999999980993;
+  const double t = x + 7.5;
+  for (int i = 0; i < 8; ++i) a += coeffs[i] / (x + static_cast<double>(i) + 1);
+  return 0.5 * std::log(2 * 3.14159265358979323846) + (x + 0.5) * std::log(t) -
+         t + std::log(a);
+}
+
+// Continued fraction for the incomplete beta (Numerical-Recipes style
+// modified Lentz method).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0) return 0.5;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - p : p;
+}
+
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  WelchResult r;
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  if (sa.n < 2 || sb.n < 2) return r;  // not enough data: p = 1
+
+  const double va_n = sa.variance / static_cast<double>(sa.n);
+  const double vb_n = sb.variance / static_cast<double>(sb.n);
+  const double denom = std::sqrt(va_n + vb_n);
+  if (denom == 0.0) {
+    // Identical (zero-variance) samples: significant iff means differ.
+    r.t = sa.mean == sb.mean ? 0 : std::numeric_limits<double>::infinity();
+    r.df = static_cast<double>(sa.n + sb.n - 2);
+    r.p_value = sa.mean == sb.mean ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (sa.mean - sb.mean) / denom;
+  // Welch–Satterthwaite.
+  const double num = (va_n + vb_n) * (va_n + vb_n);
+  const double den = va_n * va_n / static_cast<double>(sa.n - 1) +
+                     vb_n * vb_n / static_cast<double>(sb.n - 1);
+  r.df = den > 0 ? num / den : static_cast<double>(sa.n + sb.n - 2);
+  // Two-sided p-value.
+  const double cdf = student_t_cdf(std::fabs(r.t), r.df);
+  r.p_value = 2.0 * (1.0 - cdf);
+  return r;
+}
+
+double percent_difference(double tcp_value, double quic_value) {
+  if (tcp_value == 0) return 0;
+  return (tcp_value - quic_value) / tcp_value * 100.0;
+}
+
+}  // namespace longlook::stats

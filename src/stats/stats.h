@@ -1,0 +1,50 @@
+// Statistics for rigorous protocol comparison (Sec. 5.2).
+//
+// The paper reports a QUIC-vs-TCP difference only when Welch's t-test
+// rejects equal means at p < 0.01; otherwise the cell is "no statistically
+// significant difference" (white in the heatmaps). This module implements
+// the test from scratch: t statistic, Welch–Satterthwaite degrees of
+// freedom, and a two-sided p-value via the regularised incomplete beta
+// function.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace longlook::stats {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1)
+  double variance = 0;
+  std::size_t n = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+struct WelchResult {
+  double t = 0;
+  double df = 0;
+  double p_value = 1.0;
+  bool significant(double alpha = 0.01) const { return p_value < alpha; }
+};
+
+// Two-sided Welch's t-test for equal means of two independent samples.
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+// Regularised incomplete beta I_x(a, b), needed for the t CDF. Exposed for
+// testing against known values.
+double incomplete_beta(double a, double b, double x);
+
+// Student's t distribution: P(T <= t) with df degrees of freedom.
+double student_t_cdf(double t, double df);
+
+// The paper's heatmap metric: percent PLT difference of QUIC over TCP.
+// Positive = QUIC faster (smaller PLT).
+double percent_difference(double tcp_value, double quic_value);
+
+double mean(std::span<const double> xs);
+double median(std::vector<double> xs);
+
+}  // namespace longlook::stats

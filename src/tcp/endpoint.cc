@@ -1,0 +1,66 @@
+#include "tcp/endpoint.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace longlook::tcp {
+namespace {
+Port next_ephemeral_port() {
+  static std::atomic<Port> next{40000};
+  return next++;
+}
+}  // namespace
+
+TcpClient::TcpClient(Simulator& sim, Host& host, Address server,
+                     Port server_port, TcpConfig config)
+    : sim_(sim), host_(host), local_port_(next_ephemeral_port()) {
+  connection_ = std::make_unique<TcpConnection>(
+      sim, host, config, server, server_port, local_port_, /*is_client=*/true);
+  host_.bind(IpProto::kTcp, local_port_, this);
+}
+
+TcpClient::~TcpClient() { host_.unbind(IpProto::kTcp, local_port_); }
+
+void TcpClient::connect(std::function<void()> on_established) {
+  connection_->connect(std::move(on_established));
+}
+
+void TcpClient::on_packet(Packet&& p) {
+  auto seg = decode_segment(p.data);
+  if (!seg) {
+    LL_WARN("tcp client: undecodable segment dropped");
+    return;
+  }
+  connection_->on_segment(*seg, sim_.now());
+}
+
+TcpServer::TcpServer(Simulator& sim, Host& host, Port port, TcpConfig config)
+    : sim_(sim), host_(host), port_(port), config_(config) {
+  host_.bind(IpProto::kTcp, port_, this);
+}
+
+TcpServer::~TcpServer() { host_.unbind(IpProto::kTcp, port_); }
+
+void TcpServer::on_packet(Packet&& p) {
+  auto seg = decode_segment(p.data);
+  if (!seg) {
+    LL_WARN("tcp server: undecodable segment dropped");
+    return;
+  }
+  const ConnKey key{p.src, seg->src_port};
+  auto it = connections_.find(key);
+  if (it == connections_.end()) {
+    if (!seg->syn) return;  // stray segment for a dead connection
+    auto conn = std::make_unique<TcpConnection>(sim_, host_, config_, p.src,
+                                                seg->src_port, port_,
+                                                /*is_client=*/false);
+    TcpConnection* raw = conn.get();
+    if (accept_handler_) accept_handler_(*raw);
+    it = connections_.emplace(key, std::move(conn)).first;
+    latest_ = raw;
+  }
+  it->second->on_segment(*seg, sim_.now());
+}
+
+}  // namespace longlook::tcp

@@ -1,0 +1,76 @@
+// TCP endpoints: client socket and listening server.
+//
+// TcpServer mirrors the paper's Apache: it accepts connections on a port
+// and hands each established connection to an application callback (the
+// HTTP/2 server session). One TcpClient = one connection, created fresh per
+// experiment round (sockets are closed between rounds, Sec. 3.1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/host.h"
+#include "tcp/connection.h"
+
+namespace longlook::tcp {
+
+class TcpClient : public PacketSink {
+ public:
+  TcpClient(Simulator& sim, Host& host, Address server, Port server_port,
+            TcpConfig config);
+  ~TcpClient() override;
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  void connect(std::function<void()> on_established);
+  TcpConnection& connection() { return *connection_; }
+  const TcpConnection& connection() const { return *connection_; }
+  Port local_port() const { return local_port_; }
+
+  void on_packet(Packet&& p) override;
+
+ private:
+  Simulator& sim_;
+  Host& host_;
+  Port local_port_;
+  std::unique_ptr<TcpConnection> connection_;
+};
+
+class TcpServer : public PacketSink {
+ public:
+  // Called once per accepted connection, when the connection is ready for
+  // application data (after TLS if enabled).
+  using AcceptHandler = std::function<void(TcpConnection&)>;
+
+  TcpServer(Simulator& sim, Host& host, Port port, TcpConfig config);
+  ~TcpServer() override;
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  void set_accept_handler(AcceptHandler handler) {
+    accept_handler_ = std::move(handler);
+  }
+
+  void on_packet(Packet&& p) override;
+
+  TcpConnection* latest_connection() { return latest_; }
+  TcpConnection* connection_for(Address client, Port client_port) {
+    auto it = connections_.find({client, client_port});
+    return it == connections_.end() ? nullptr : it->second.get();
+  }
+  std::size_t connection_count() const { return connections_.size(); }
+
+ private:
+  using ConnKey = std::pair<Address, Port>;
+
+  Simulator& sim_;
+  Host& host_;
+  Port port_;
+  TcpConfig config_;
+  AcceptHandler accept_handler_;
+  std::map<ConnKey, std::unique_ptr<TcpConnection>> connections_;
+  TcpConnection* latest_ = nullptr;
+};
+
+}  // namespace longlook::tcp

@@ -1,0 +1,87 @@
+#include "tcp/segment.h"
+
+namespace longlook::tcp {
+
+namespace {
+constexpr std::uint8_t kFlagSyn = 1 << 0;
+constexpr std::uint8_t kFlagFin = 1 << 1;
+constexpr std::uint8_t kFlagAck = 1 << 2;
+constexpr std::uint8_t kFlagRst = 1 << 3;
+constexpr std::uint8_t kFlagDsack = 1 << 4;
+}  // namespace
+
+Bytes encode_segment(const TcpSegment& seg) {
+  ByteWriter w(seg.payload.size() + 64);
+  w.u16(seg.src_port);
+  w.u16(seg.dst_port);
+  w.u64(seg.seq);
+  w.u64(seg.ack);
+  std::uint8_t flags = 0;
+  if (seg.syn) flags |= kFlagSyn;
+  if (seg.fin) flags |= kFlagFin;
+  if (seg.ack_flag) flags |= kFlagAck;
+  if (seg.rst) flags |= kFlagRst;
+  if (seg.dsack) flags |= kFlagDsack;
+  w.u8(flags);
+  w.varint(seg.window);
+  w.u64(seg.ts_val);
+  w.u64(seg.ts_ecr);
+  w.u8(static_cast<std::uint8_t>(seg.sack.size()));
+  for (const SackBlock& b : seg.sack) {
+    w.varint(b.start);
+    w.varint(b.end);
+  }
+  w.varint(seg.payload.size());
+  w.bytes(seg.payload);
+  return w.take();
+}
+
+std::optional<TcpSegment> decode_segment(BytesView data) {
+  ByteReader r(data);
+  TcpSegment seg;
+  auto sp = r.u16();
+  auto dp = r.u16();
+  auto seq = r.u64();
+  auto ack = r.u64();
+  auto flags = r.u8();
+  auto window = r.varint();
+  auto ts_val = r.u64();
+  auto ts_ecr = r.u64();
+  auto n_sack = r.u8();
+  if (!sp || !dp || !seq || !ack || !flags || !window || !ts_val || !ts_ecr ||
+      !n_sack) {
+    return std::nullopt;
+  }
+  seg.src_port = *sp;
+  seg.dst_port = *dp;
+  seg.seq = *seq;
+  seg.ack = *ack;
+  seg.syn = (*flags & kFlagSyn) != 0;
+  seg.fin = (*flags & kFlagFin) != 0;
+  seg.ack_flag = (*flags & kFlagAck) != 0;
+  seg.rst = (*flags & kFlagRst) != 0;
+  seg.dsack = (*flags & kFlagDsack) != 0;
+  seg.window = *window;
+  seg.ts_val = *ts_val;
+  seg.ts_ecr = *ts_ecr;
+  for (std::uint8_t i = 0; i < *n_sack; ++i) {
+    auto s = r.varint();
+    auto e = r.varint();
+    if (!s || !e) return std::nullopt;
+    seg.sack.push_back({*s, *e});
+  }
+  auto len = r.varint();
+  if (!len) return std::nullopt;
+  auto payload = r.bytes(static_cast<std::size_t>(*len));
+  if (!payload) return std::nullopt;
+  seg.payload = std::move(*payload);
+  return seg;
+}
+
+std::size_t segment_overhead(std::size_t sack_blocks) {
+  // ports(4) + seq(8) + ack(8) + flags(1) + window(<=8) + ts(16) +
+  // sack count(1) + blocks(<=16 each) + len(<=8).
+  return 4 + 8 + 8 + 1 + 8 + 16 + 1 + sack_blocks * 16 + 8;
+}
+
+}  // namespace longlook::tcp

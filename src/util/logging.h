@@ -1,0 +1,34 @@
+// Minimal leveled logging. Experiments are quiet by default; set
+// LL_LOG=debug (env) or call set_log_level() to see transport internals.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace longlook {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define LL_LOG(level, expr)                                       \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::longlook::log_level())) {              \
+      std::ostringstream ll_os_;                                  \
+      ll_os_ << expr; /* NOLINT */                                \
+      ::longlook::detail::log_line(level, ll_os_.str());          \
+    }                                                             \
+  } while (0)
+
+#define LL_DEBUG(expr) LL_LOG(::longlook::LogLevel::kDebug, expr)
+#define LL_INFO(expr) LL_LOG(::longlook::LogLevel::kInfo, expr)
+#define LL_WARN(expr) LL_LOG(::longlook::LogLevel::kWarn, expr)
+#define LL_ERROR(expr) LL_LOG(::longlook::LogLevel::kError, expr)
+
+}  // namespace longlook

@@ -1,0 +1,47 @@
+// Deterministic random number generation for repeatable experiments.
+//
+// Every run of an experiment derives one Rng from the scenario seed; the
+// paper's methodology (>=10 runs per scenario, back-to-back protocol pairs)
+// maps to >=10 distinct seeds with the SAME network randomness applied to
+// both protocols in a round, so comparisons are paired.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/time.h"
+
+namespace longlook {
+
+// xoshiro256** 1.0 — small, fast, good statistical quality, fully
+// deterministic across platforms (unlike std:: distributions).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+  // True with probability p.
+  bool bernoulli(double p);
+  // Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+  // Exponential with given mean.
+  double exponential(double mean);
+
+  // Normally-distributed duration clamped at zero (netem-style jitter).
+  Duration jittered(Duration mean, Duration stddev);
+
+  // Derive an independent stream (e.g. per-flow) from this RNG.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace longlook

@@ -1,0 +1,48 @@
+// Simulated-time types shared by every subsystem.
+//
+// The testbed runs entirely in virtual time: there is no wall-clock `now()`.
+// `SimClock` satisfies the Clock requirements structurally (rep/period/duration/
+// time_point) so the standard <chrono> arithmetic and literals work, but time
+// only advances when the event loop dispatches events.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace longlook {
+
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = std::chrono::duration<rep, period>;
+  using time_point = std::chrono::time_point<SimClock>;
+  static constexpr bool is_steady = true;
+  // Intentionally no now(): the Simulator owns the current time.
+};
+
+using Duration = SimClock::duration;
+using TimePoint = SimClock::time_point;
+
+constexpr Duration kNoDuration = Duration::zero();
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration(n); }
+constexpr Duration microseconds(std::int64_t n) { return Duration(n * 1000); }
+constexpr Duration milliseconds(std::int64_t n) { return Duration(n * 1000000); }
+constexpr Duration seconds(std::int64_t n) { return Duration(n * 1000000000); }
+
+// Fractional seconds for reporting.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+// Time needed to serialise `bytes` onto a link of `bits_per_sec`.
+constexpr Duration transmission_delay(std::int64_t bytes, std::int64_t bits_per_sec) {
+  // bytes*8 / bps seconds, computed in integer nanoseconds without overflow
+  // for any realistic packet size / rate.
+  return Duration(bytes * 8 * 1000000000 / bits_per_sec);
+}
+
+}  // namespace longlook

@@ -1,0 +1,127 @@
+#include "video/streaming.h"
+
+#include <algorithm>
+#include <string>
+
+namespace longlook::video {
+
+VideoQuality quality_tiny() { return {"tiny", 300'000}; }
+VideoQuality quality_medium() { return {"medium", 750'000}; }
+VideoQuality quality_hd720() { return {"hd720", 2'500'000}; }
+VideoQuality quality_hd2160() { return {"hd2160", 45'000'000}; }
+
+std::vector<VideoQuality> all_qualities() {
+  return {quality_tiny(), quality_medium(), quality_hd720(), quality_hd2160()};
+}
+
+StreamingSession::StreamingSession(Simulator& sim,
+                                   http::ClientSession& session,
+                                   StreamingConfig config)
+    : sim_(sim), session_(session), config_(config) {}
+
+std::size_t StreamingSession::segment_bytes() const {
+  return static_cast<std::size_t>(config_.quality.bitrate_bps / 8 *
+                                  config_.segment_length.count() / 1000000000);
+}
+
+std::size_t StreamingSession::total_segments() const {
+  return static_cast<std::size_t>(config_.video_length.count() /
+                                  config_.segment_length.count());
+}
+
+void StreamingSession::start(std::function<void(const QoeMetrics&)> on_done) {
+  on_done_ = std::move(on_done);
+  started_at_ = sim_.now();
+  watch_deadline_ = started_at_ + config_.watch_time;
+  sim_.schedule(config_.watch_time, [this] { finish(); });
+  session_.connect([this] {
+    fetch_next_segment();
+    playback_tick();
+  });
+}
+
+void StreamingSession::fetch_next_segment() {
+  if (finished_ || fetch_in_flight_) return;
+  if (segments_requested_ >= total_segments()) return;
+  // Throttle: don't fetch beyond the buffered-ahead cap.
+  if (buffered_seconds_ >= to_seconds(config_.max_buffer_ahead)) return;
+  http::AppStream* stream = session_.open_stream();
+  if (stream == nullptr) return;
+  fetch_in_flight_ = true;
+  ++segments_requested_;
+
+  auto bytes_seen = std::make_shared<std::size_t>(0);
+  const std::size_t want = segment_bytes();
+  stream->set_on_data([this, bytes_seen](BytesView data, bool fin) {
+    *bytes_seen += data.size();
+    if (fin) on_segment_complete();
+  });
+  const std::string request = "GET /seg" + std::to_string(segments_requested_) +
+                              " " + std::to_string(want) + "\n";
+  stream->write(BytesView(reinterpret_cast<const std::uint8_t*>(
+                              request.data()),
+                          request.size()),
+                false);
+  session_.flush();
+}
+
+void StreamingSession::on_segment_complete() {
+  if (finished_) return;
+  fetch_in_flight_ = false;
+  ++segments_fetched_;
+  buffered_seconds_ += to_seconds(config_.segment_length);
+
+  if (!metrics_.started &&
+      buffered_seconds_ >= to_seconds(config_.initial_buffer)) {
+    metrics_.started = true;
+    metrics_.time_to_start_s = to_seconds(sim_.now() - started_at_);
+    playing_ = true;
+  }
+  if (stalled_ && buffered_seconds_ >= to_seconds(config_.rebuffer_resume)) {
+    stalled_ = false;
+    metrics_.stalled_seconds += to_seconds(sim_.now() - stall_started_);
+    playing_ = true;
+  }
+  fetch_next_segment();
+}
+
+void StreamingSession::playback_tick() {
+  if (finished_) return;
+  constexpr double kTick = 0.1;  // seconds of playback per tick
+  if (playing_) {
+    const double consumed = std::min(buffered_seconds_, kTick);
+    buffered_seconds_ -= consumed;
+    played_seconds_ += consumed;
+    if (buffered_seconds_ <= 0 && metrics_.started) {
+      // Buffer drained: rebuffer event.
+      playing_ = false;
+      stalled_ = true;
+      stall_started_ = sim_.now();
+      ++metrics_.rebuffer_count;
+    }
+  }
+  fetch_next_segment();  // throttle may have opened up
+  tick_event_ = sim_.schedule(milliseconds(100), [this] { playback_tick(); });
+}
+
+void StreamingSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (tick_event_ != kInvalidEventId) sim_.cancel(tick_event_);
+  if (stalled_) {
+    metrics_.stalled_seconds += to_seconds(sim_.now() - stall_started_);
+  }
+  metrics_.played_seconds = played_seconds_;
+  metrics_.fraction_loaded_pct =
+      100.0 * static_cast<double>(segments_fetched_) *
+      to_seconds(config_.segment_length) / to_seconds(config_.video_length);
+  if (played_seconds_ > 0) {
+    metrics_.buffer_play_ratio_pct =
+        100.0 * metrics_.stalled_seconds / played_seconds_;
+    metrics_.rebuffers_per_played_sec =
+        static_cast<double>(metrics_.rebuffer_count) / played_seconds_;
+  }
+  if (on_done_) on_done_(metrics_);
+}
+
+}  // namespace longlook::video

@@ -1,0 +1,96 @@
+// Video-streaming QoE model (Sec. 5.3, Table 6).
+//
+// Mirrors the paper's tool: open a one-hour video at a fixed quality level,
+// let it run for 60 seconds, and log QoE metrics — time to start, fraction
+// of the video loaded, rebuffer count, and buffering/playing time ratio.
+//
+// The player is a DASH-style segment fetcher: 5-second segments requested
+// sequentially over the session's streams, playback starting once an
+// initial buffer exists, rebuffering whenever the buffer drains, and a
+// buffered-ahead cap that throttles fetching (like YouTube's player).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "http/app_stream.h"
+#include "sim/simulator.h"
+
+namespace longlook::video {
+
+struct VideoQuality {
+  std::string name;
+  std::int64_t bitrate_bps;
+};
+
+// The paper's four tested tiers (Table 2/6). Bitrates follow typical
+// YouTube ladder values for a 1-hour VOD encode.
+VideoQuality quality_tiny();    // 144p
+VideoQuality quality_medium();  // 360p
+VideoQuality quality_hd720();   // 720p
+VideoQuality quality_hd2160();  // 4K
+std::vector<VideoQuality> all_qualities();
+
+struct StreamingConfig {
+  VideoQuality quality = quality_hd720();
+  Duration video_length = seconds(3600);   // one-hour video
+  Duration watch_time = seconds(60);       // measurement window
+  Duration segment_length = seconds(2);
+  Duration initial_buffer = seconds(2);    // playback start threshold
+  Duration rebuffer_resume = seconds(4);   // resume threshold after a stall
+  Duration max_buffer_ahead = seconds(120);  // fetch throttle
+};
+
+struct QoeMetrics {
+  double time_to_start_s = 0;
+  double fraction_loaded_pct = 0;       // of the whole video, after 60 s
+  double buffer_play_ratio_pct = 0;     // stall time / playing time * 100
+  int rebuffer_count = 0;
+  double rebuffers_per_played_sec = 0;
+  double played_seconds = 0;
+  double stalled_seconds = 0;
+  bool started = false;
+};
+
+class StreamingSession {
+ public:
+  StreamingSession(Simulator& sim, http::ClientSession& session,
+                   StreamingConfig config);
+
+  // Runs the player; on_done fires when the watch window closes.
+  void start(std::function<void(const QoeMetrics&)> on_done);
+
+  const QoeMetrics& metrics() const { return metrics_; }
+  bool finished() const { return finished_; }
+
+ private:
+  void fetch_next_segment();
+  void on_segment_complete();
+  void playback_tick();
+  void finish();
+
+  std::size_t segment_bytes() const;
+  std::size_t total_segments() const;
+
+  Simulator& sim_;
+  http::ClientSession& session_;
+  StreamingConfig config_;
+  std::function<void(const QoeMetrics&)> on_done_;
+  QoeMetrics metrics_;
+
+  TimePoint started_at_{};
+  TimePoint watch_deadline_{};
+  std::size_t segments_fetched_ = 0;   // completed downloads
+  std::size_t segments_requested_ = 0;
+  bool fetch_in_flight_ = false;
+  bool playing_ = false;
+  bool stalled_ = false;
+  TimePoint stall_started_{};
+  double buffered_seconds_ = 0;
+  double played_seconds_ = 0;
+  bool finished_ = false;
+  EventId tick_event_ = kInvalidEventId;
+};
+
+}  // namespace longlook::video

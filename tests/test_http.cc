@@ -1,0 +1,149 @@
+// Unit tests: HTTP/2-lite framing, the object service request handling, and
+// the page loader's resource-timing semantics (driven over a real testbed).
+#include <gtest/gtest.h>
+
+#include "harness/testbed.h"
+#include "http/h2_session.h"
+#include "http/object_service.h"
+#include "http/page_loader.h"
+#include "http/quic_session.h"
+
+namespace longlook::http {
+namespace {
+
+// --- H2Framer --------------------------------------------------------------
+
+TEST(H2Framer, FrameRoundTrip) {
+  std::vector<std::tuple<std::uint64_t, Bytes, bool>> frames;
+  H2Framer framer([&](std::uint64_t id, BytesView data, bool fin) {
+    frames.emplace_back(id, Bytes(data.begin(), data.end()), fin);
+  });
+  const Bytes payload{1, 2, 3, 4};
+  framer.feed(H2Framer::encode_frame(7, payload, true));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(std::get<0>(frames[0]), 7u);
+  EXPECT_EQ(std::get<1>(frames[0]), payload);
+  EXPECT_TRUE(std::get<2>(frames[0]));
+}
+
+TEST(H2Framer, ReassemblesFromArbitrarySplits) {
+  std::vector<std::uint64_t> ids;
+  H2Framer framer(
+      [&](std::uint64_t id, BytesView, bool) { ids.push_back(id); });
+  Bytes wire;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const Bytes f = H2Framer::encode_frame(id, Bytes(100, 1), id == 5);
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+  // Feed one byte at a time: the parser must handle partial headers.
+  for (std::uint8_t b : wire) framer.feed(BytesView(&b, 1));
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(H2Framer, EmptyFinFrame) {
+  bool got_fin = false;
+  H2Framer framer([&](std::uint64_t, BytesView data, bool fin) {
+    EXPECT_TRUE(data.empty());
+    got_fin = fin;
+  });
+  framer.feed(H2Framer::encode_frame(3, {}, true));
+  EXPECT_TRUE(got_fin);
+}
+
+// --- ObjectService over a real QUIC testbed ---------------------------------
+
+struct Fixture {
+  harness::Scenario scenario;
+  harness::Testbed tb{scenario};
+  QuicObjectServer server{tb.sim(), tb.server_host(), harness::kQuicPort,
+                          quic::QuicConfig{}};
+  quic::TokenCache tokens;
+  QuicClientSession session{tb.sim(),
+                            tb.client_host(),
+                            tb.server_host().address(),
+                            harness::kQuicPort,
+                            quic::QuicConfig{},
+                            tokens};
+};
+
+TEST(ObjectService, ServesRequestedSize) {
+  Fixture f;
+  PageLoader loader(f.tb.sim(), f.session, {1, 123456});
+  loader.start();
+  ASSERT_TRUE(f.tb.run_until([&] { return loader.finished(); }, seconds(30)));
+  EXPECT_EQ(loader.result().objects[0].bytes_received, 123456u);
+  EXPECT_EQ(f.server.service().requests_served(), 1u);
+}
+
+TEST(ObjectService, ZeroByteObject) {
+  Fixture f;
+  PageLoader loader(f.tb.sim(), f.session, {1, 0});
+  loader.start();
+  ASSERT_TRUE(f.tb.run_until([&] { return loader.finished(); }, seconds(30)));
+  EXPECT_EQ(loader.result().objects[0].bytes_received, 0u);
+}
+
+TEST(ObjectService, LargeObjectServedIncrementally) {
+  // Above the chunking threshold: the pump path must still deliver exactly
+  // the requested byte count.
+  Fixture f;
+  PageLoader loader(f.tb.sim(), f.session, {1, 5 * 1024 * 1024});
+  loader.start();
+  ASSERT_TRUE(f.tb.run_until([&] { return loader.finished(); }, seconds(60)));
+  EXPECT_EQ(loader.result().objects[0].bytes_received, 5u * 1024 * 1024);
+}
+
+TEST(ObjectService, ServiceDelayDefersFirstByte) {
+  Fixture f;
+  f.server.service().set_service_delay(milliseconds(500), milliseconds(500),
+                                       1);
+  PageLoader loader(f.tb.sim(), f.session, {1, 1000});
+  loader.start();
+  ASSERT_TRUE(f.tb.run_until([&] { return loader.finished(); }, seconds(30)));
+  const auto& obj = loader.result().objects[0];
+  EXPECT_GE(to_seconds(obj.first_byte - obj.issued), 0.5);
+}
+
+TEST(PageLoader, ResourceTimingsAreOrderedAndComplete) {
+  Fixture f;
+  PageLoader loader(f.tb.sim(), f.session, {10, 5000});
+  bool done_cb = false;
+  loader.start([&](const PageLoadResult& r) {
+    done_cb = true;
+    EXPECT_TRUE(r.complete);
+  });
+  ASSERT_TRUE(f.tb.run_until([&] { return loader.finished(); }, seconds(30)));
+  EXPECT_TRUE(done_cb);
+  const PageLoadResult& r = loader.result();
+  EXPECT_EQ(r.objects.size(), 10u);
+  for (const auto& obj : r.objects) {
+    EXPECT_TRUE(obj.done);
+    EXPECT_LE(obj.issued.time_since_epoch().count(),
+              obj.first_byte.time_since_epoch().count());
+    EXPECT_LE(obj.first_byte.time_since_epoch().count(),
+              obj.complete.time_since_epoch().count());
+    EXPECT_LE(obj.complete, r.finished);
+  }
+  EXPECT_EQ(r.plt, r.finished - r.started);
+}
+
+TEST(PageLoader, QueuesBeyondStreamLimit) {
+  harness::Scenario scenario;
+  harness::Testbed tb{scenario};
+  quic::QuicConfig cfg;
+  cfg.max_streams = 4;  // MSPC 4: 12 objects need three waves
+  QuicObjectServer server{tb.sim(), tb.server_host(), harness::kQuicPort, cfg};
+  quic::TokenCache tokens;
+  QuicClientSession session{
+      tb.sim(), tb.client_host(), tb.server_host().address(),
+      harness::kQuicPort, cfg, tokens};
+  PageLoader loader(tb.sim(), session, {12, 2000});
+  loader.start();
+  ASSERT_TRUE(tb.run_until([&] { return loader.finished(); }, seconds(30)));
+  for (const auto& obj : loader.result().objects) {
+    EXPECT_EQ(obj.bytes_received, 2000u);
+  }
+}
+
+}  // namespace
+}  // namespace longlook::http

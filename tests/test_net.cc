@@ -1,0 +1,334 @@
+// Unit tests: emulated links (TBF rate accuracy, drop-tail queue, random
+// loss, netem jitter => reordering, reorder-probability), hosts (routing,
+// demux, device CPU serialisation) and the variable-bandwidth schedule.
+#include <gtest/gtest.h>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/profiles.h"
+#include "net/varbw.h"
+#include "sim/simulator.h"
+
+namespace longlook {
+namespace {
+
+Packet make_packet(std::size_t payload_bytes, Address dst = 2,
+                   Port dst_port = 80) {
+  Packet p;
+  p.dst = dst;
+  p.dst_port = dst_port;
+  p.proto = IpProto::kUdp;
+  p.data = Bytes(payload_bytes, 0x42);
+  return p;
+}
+
+TEST(Link, UnlimitedLinkDeliversAtBaseDelay) {
+  Simulator sim;
+  std::vector<TimePoint> arrivals;
+  LinkConfig cfg;
+  cfg.base_delay = milliseconds(10);
+  DirectionalLink link(sim, cfg, [&](Packet&&) { arrivals.push_back(sim.now()); });
+  link.send(make_packet(1000));
+  link.send(make_packet(1000));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], TimePoint{} + milliseconds(10));
+  EXPECT_EQ(arrivals[1], TimePoint{} + milliseconds(10));
+}
+
+TEST(Link, TokenBucketShapesToConfiguredRate) {
+  Simulator sim;
+  std::size_t delivered_bytes = 0;
+  TimePoint last{};
+  LinkConfig cfg;
+  cfg.rate_bps = 10'000'000;
+  cfg.bucket_bytes = 4 * 1024;
+  cfg.queue_limit_bytes = 10 * 1024 * 1024;
+  DirectionalLink link(sim, cfg, [&](Packet&& p) {
+    delivered_bytes += p.wire_size();
+    last = sim.now();
+  });
+  // 2 MB of traffic through a 10 Mbps shaper: ~1.6 s.
+  for (int i = 0; i < 1400; ++i) link.send(make_packet(1400));
+  sim.run();
+  const double rate_bps = static_cast<double>(delivered_bytes) * 8 /
+                          to_seconds(last - TimePoint{});
+  EXPECT_NEAR(rate_bps, 10e6, 10e6 * 0.03);
+  EXPECT_EQ(link.stats().dropped_queue, 0u);
+}
+
+TEST(Link, DropTailQueueDropsWhenFull) {
+  Simulator sim;
+  std::size_t delivered = 0;
+  LinkConfig cfg;
+  cfg.rate_bps = 1'000'000;
+  cfg.queue_limit_bytes = 10 * 1400;  // room for ~9 packets + overhead
+  DirectionalLink link(sim, cfg, [&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 100; ++i) link.send(make_packet(1400));
+  sim.run();
+  EXPECT_GT(link.stats().dropped_queue, 80u);
+  EXPECT_LT(delivered, 20u);
+  EXPECT_EQ(delivered + link.stats().dropped_queue, 100u);
+}
+
+class LinkLossRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkLossRate, BernoulliLossMatchesConfiguredRate) {
+  const double loss = GetParam();
+  Simulator sim;
+  std::size_t delivered = 0;
+  LinkConfig cfg;
+  cfg.loss_rate = loss;
+  cfg.seed = 99;
+  DirectionalLink link(sim, cfg, [&](Packet&&) { ++delivered; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.send(make_packet(100));
+  sim.run();
+  const double observed = 1.0 - static_cast<double>(delivered) / n;
+  EXPECT_NEAR(observed, loss, 0.3 * loss + 0.002);
+  EXPECT_EQ(link.stats().dropped_random, n - delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinkLossRate,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.3));
+
+TEST(Link, ZeroLossDeliversEverything) {
+  Simulator sim;
+  std::size_t delivered = 0;
+  LinkConfig cfg;
+  DirectionalLink link(sim, cfg, [&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 1000; ++i) link.send(make_packet(100));
+  sim.run();
+  EXPECT_EQ(delivered, 1000u);
+}
+
+TEST(Link, JitterCausesReorderingLikeNetem) {
+  // The paper's Fig. 10 depends on this artifact: per-packet jittered
+  // delays are queued by adjusted send time, so deep jitter reorders.
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.base_delay = milliseconds(50);
+  cfg.jitter = milliseconds(10);
+  cfg.seed = 7;
+  std::vector<std::uint64_t> arrival_order;
+  DirectionalLink link(sim, cfg, [&](Packet&& p) {
+    arrival_order.push_back(p.emission_seq);
+  });
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule(microseconds(i * 200), [&link] { link.send(make_packet(1000)); });
+  }
+  sim.run();
+  ASSERT_EQ(arrival_order.size(), 500u);
+  EXPECT_GT(link.stats().delivered_out_of_order, 10u);
+}
+
+TEST(Link, NoJitterPreservesOrder) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.base_delay = milliseconds(50);
+  cfg.rate_bps = 10'000'000;
+  std::uint64_t last = 0;
+  bool ordered = true;
+  DirectionalLink link(sim, cfg, [&](Packet&& p) {
+    if (p.emission_seq < last) ordered = false;
+    last = p.emission_seq;
+  });
+  for (int i = 0; i < 300; ++i) link.send(make_packet(1200));
+  sim.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(link.stats().delivered_out_of_order, 0u);
+}
+
+TEST(Link, ReorderProbabilitySkipsQueue) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.base_delay = milliseconds(40);
+  cfg.reorder_prob = 0.10;
+  cfg.seed = 3;
+  DirectionalLink link(sim, cfg, [](Packet&&) {});
+  for (int i = 0; i < 2000; ++i) {
+    sim.schedule(microseconds(i * 100), [&link] { link.send(make_packet(500)); });
+  }
+  sim.run();
+  // Roughly 10% of packets jump the queue => out-of-order deliveries.
+  EXPECT_GT(link.stats().delivered_out_of_order, 100u);
+}
+
+TEST(Link, RateChangeTakesEffect) {
+  Simulator sim;
+  std::size_t delivered_before = 0;
+  std::size_t delivered_after = 0;
+  LinkConfig cfg;
+  cfg.rate_bps = 1'000'000;
+  cfg.bucket_bytes = 2000;  // minimal burst so the rate dominates
+  cfg.queue_limit_bytes = 64 * 1024 * 1024;
+  TimePoint switch_at = TimePoint{} + seconds(1);
+  DirectionalLink link(sim, cfg, [&](Packet&&) {
+    if (sim.now() < switch_at) {
+      ++delivered_before;
+    } else {
+      ++delivered_after;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) link.send(make_packet(1250));
+  sim.schedule(seconds(1), [&] { link.set_rate_bps(10'000'000); });
+  sim.run();
+  // 1 Mbps for 1 s ≈ 97 packets of 1286B; then 10x faster.
+  EXPECT_NEAR(static_cast<double>(delivered_before), 97, 8);
+  EXPECT_EQ(delivered_before + delivered_after, 2000u);
+}
+
+struct RecordingSink : PacketSink {
+  std::vector<Packet> packets;
+  std::vector<TimePoint> times;
+  Simulator* sim = nullptr;
+  void on_packet(Packet&& p) override {
+    packets.push_back(std::move(p));
+    if (sim != nullptr) times.push_back(sim->now());
+  }
+};
+
+TEST(Host, RoutesAndDemuxesByProtoAndPort) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, b, {}, {});
+  RecordingSink udp_sink;
+  RecordingSink tcp_sink;
+  b.bind(IpProto::kUdp, 443, &udp_sink);
+  b.bind(IpProto::kTcp, 443, &tcp_sink);
+
+  Packet p1 = make_packet(10, b.address(), 443);
+  a.send(std::move(p1));
+  Packet p2 = make_packet(10, b.address(), 443);
+  p2.proto = IpProto::kTcp;
+  a.send(std::move(p2));
+  Packet p3 = make_packet(10, b.address(), 9999);  // unbound port
+  a.send(std::move(p3));
+  sim.run();
+  EXPECT_EQ(udp_sink.packets.size(), 1u);
+  EXPECT_EQ(tcp_sink.packets.size(), 1u);
+  EXPECT_EQ(b.packets_undeliverable(), 1u);
+  EXPECT_EQ(udp_sink.packets[0].src, a.address());
+}
+
+TEST(Host, ForwardsWhenNotDestination) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& r = net.add_host("router");
+  Host& b = net.add_host("b");
+  DuplexLink& ar = net.connect(a, r, {}, {});
+  DuplexLink& rb = net.connect(r, b, {}, {});
+  a.set_default_route(&ar.a_to_b());  // a sends everything via r
+  r.add_route(b.address(), &rb.a_to_b());
+  RecordingSink sink;
+  b.bind(IpProto::kUdp, 80, &sink);
+  Packet p = make_packet(10, b.address(), 80);
+  a.send(std::move(p));
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(r.packets_forwarded(), 1u);
+}
+
+TEST(Host, NoRouteDropsPacket) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  EXPECT_FALSE(a.send(make_packet(10, 99, 80)));
+  EXPECT_EQ(a.packets_undeliverable(), 1u);
+}
+
+TEST(Host, DeviceCpuSerialisesUserspaceDelivery) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, b, {}, {});
+  DeviceProfile slow;
+  slow.userspace_per_packet = milliseconds(1);
+  b.set_device_profile(slow);
+  RecordingSink sink;
+  sink.sim = &sim;
+  b.bind(IpProto::kUdp, 80, &sink);
+  for (int i = 0; i < 5; ++i) a.send(make_packet(10, b.address(), 80));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 5u);
+  // Serial CPU: arrivals are spaced 1 ms apart even though all packets hit
+  // the host simultaneously.
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    EXPECT_EQ(sink.times[i] - sink.times[i - 1], milliseconds(1));
+  }
+}
+
+TEST(Host, KernelAndUserspaceQueuesAreIndependent) {
+  Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, b, {}, {});
+  DeviceProfile prof;
+  prof.userspace_per_packet = milliseconds(10);
+  prof.kernel_per_packet = microseconds(1);
+  b.set_device_profile(prof);
+  RecordingSink udp_sink;
+  RecordingSink tcp_sink;
+  udp_sink.sim = &sim;
+  tcp_sink.sim = &sim;
+  b.bind(IpProto::kUdp, 80, &udp_sink);
+  b.bind(IpProto::kTcp, 80, &tcp_sink);
+  a.send(make_packet(10, b.address(), 80));
+  Packet t = make_packet(10, b.address(), 80);
+  t.proto = IpProto::kTcp;
+  a.send(std::move(t));
+  sim.run();
+  ASSERT_EQ(udp_sink.times.size(), 1u);
+  ASSERT_EQ(tcp_sink.times.size(), 1u);
+  EXPECT_LT(tcp_sink.times[0], udp_sink.times[0]);
+}
+
+TEST(VarBw, RedrawsRatesWithinRange) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 1;
+  DirectionalLink link(sim, cfg, [](Packet&&) {});
+  VariableBandwidthSchedule sched(sim, 50'000'000, 150'000'000,
+                                  milliseconds(100), 5);
+  sched.manage(link);
+  sched.start();
+  std::vector<std::int64_t> observed;
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule(milliseconds(100 * i + 50),
+                 [&] { observed.push_back(link.rate_bps()); });
+  }
+  sim.run_until(TimePoint{} + seconds(2));
+  sched.stop();
+  ASSERT_EQ(observed.size(), 20u);
+  bool varied = false;
+  for (std::int64_t r : observed) {
+    EXPECT_GE(r, 50'000'000);
+    EXPECT_LE(r, 150'000'000);
+    if (r != observed[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Profiles, CellularConfigMatchesTable5Row) {
+  const CellularProfile p = sprint_lte();
+  const LinkConfig cfg = cellular_link_config(p, 1);
+  EXPECT_EQ(cfg.rate_bps, static_cast<std::int64_t>(2.4e6));
+  EXPECT_EQ(cfg.base_delay, Duration(static_cast<std::int64_t>(55e6 / 2)));
+  EXPECT_NEAR(cfg.reorder_prob, 0.0013, 1e-9);
+  EXPECT_NEAR(cfg.loss_rate, 0.0002, 1e-9);
+}
+
+TEST(Profiles, AllFourNetworksPresent) {
+  const auto all = cellular_profiles();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "verizon-3g");
+  EXPECT_EQ(all[3].name, "sprint-lte");
+}
+
+}  // namespace
+}  // namespace longlook

@@ -1,0 +1,161 @@
+// Unit tests: discrete-event simulator ordering/cancellation semantics and
+// the reschedulable Timer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace longlook {
+namespace {
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(30));
+}
+
+TEST(Simulator, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(milliseconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  const EventId id = sim.schedule(milliseconds(1), [] {});
+  sim.run();
+  sim.cancel(id);  // already fired: must not crash or corrupt
+  sim.cancel(id);
+  sim.cancel(kInvalidEventId);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(milliseconds(5), [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule(milliseconds(-10), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(5));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) sim.schedule(milliseconds(1), recurse);
+  };
+  sim.schedule(milliseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(50));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(10), [&] { ++fired; });
+  sim.schedule(milliseconds(30), [&] { ++fired; });
+  sim.run_until(TimePoint{} + milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(20));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunBoundReturnsFalseOnRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule(milliseconds(1), forever); };
+  sim.schedule(milliseconds(1), forever);
+  EXPECT_FALSE(sim.run(100));
+}
+
+TEST(Simulator, DispatchCounterAdvances) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(milliseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched_events(), 5u);
+}
+
+TEST(Timer, FiresAtDeadline) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.set(milliseconds(7));
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(7));
+}
+
+TEST(Timer, ResetReplacesDeadline) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.set(milliseconds(5));
+  t.set(milliseconds(20));  // replaces, does not add
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(20));
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.set(milliseconds(5));
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Timer t(sim, [&] { ++fires; });
+    t.set(milliseconds(5));
+  }
+  sim.run();  // must not fire into the destroyed timer
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRearmFromItsOwnCallback) {
+  Simulator sim;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer t(sim, [&] {
+    if (++fires < 3) tp->set(milliseconds(1));
+  });
+  tp = &t;
+  t.set(milliseconds(1));
+  sim.run();
+  EXPECT_EQ(fires, 3);
+}
+
+}  // namespace
+}  // namespace longlook

@@ -1,0 +1,144 @@
+// Unit tests: state-machine inference — transition counts/probabilities,
+// time-in-state fractions, Synoptic-style invariants, DOT output, and the
+// adapters from the CC instrumentation.
+#include <gtest/gtest.h>
+
+#include "cc/state_tracker.h"
+#include "smi/inference.h"
+
+namespace longlook::smi {
+namespace {
+
+Trace make_trace(std::initializer_list<std::pair<int, const char*>> events,
+                 int end_ms) {
+  Trace t;
+  for (const auto& [ms, state] : events) {
+    t.events.push_back({TimePoint{} + milliseconds(ms), state});
+  }
+  t.end = TimePoint{} + milliseconds(end_ms);
+  return t;
+}
+
+TEST(Inference, EdgeCountsAndProbabilities) {
+  StateMachineInference inf;
+  inf.add_trace(make_trace({{0, "A"}, {10, "B"}, {20, "A"}, {30, "B"}}, 40));
+  inf.add_trace(make_trace({{0, "A"}, {10, "C"}}, 20));
+
+  EXPECT_EQ(inf.visits("A"), 3u);
+  EXPECT_EQ(inf.visits("B"), 2u);
+  EXPECT_EQ(inf.visits("C"), 1u);
+
+  bool found_ab = false;
+  for (const auto& e : inf.edges()) {
+    if (e.from == "A" && e.to == "B") {
+      found_ab = true;
+      EXPECT_EQ(e.count, 2u);
+      // A has 3 outgoing transitions: A->B x2, A->C x1.
+      EXPECT_NEAR(e.probability, 2.0 / 3.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_ab);
+}
+
+TEST(Inference, TimeFractionsSumToOne) {
+  StateMachineInference inf;
+  inf.add_trace(make_trace({{0, "A"}, {25, "B"}}, 100));
+  EXPECT_NEAR(inf.time_fraction("A"), 0.25, 1e-9);
+  EXPECT_NEAR(inf.time_fraction("B"), 0.75, 1e-9);
+  double total = 0;
+  for (const auto& s : inf.states()) total += inf.time_fraction(s);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Inference, InitialStates) {
+  StateMachineInference inf;
+  inf.add_trace(make_trace({{0, "Init"}, {5, "X"}}, 10));
+  inf.add_trace(make_trace({{0, "Init"}, {5, "Y"}}, 10));
+  EXPECT_EQ(inf.initial_states().size(), 1u);
+  EXPECT_TRUE(inf.initial_states().count("Init"));
+}
+
+TEST(Inference, AlwaysPrecedesInvariant) {
+  StateMachineInference inf;
+  inf.add_trace(make_trace({{0, "Init"}, {5, "SS"}, {10, "CA"}}, 20));
+  inf.add_trace(make_trace({{0, "Init"}, {5, "SS"}}, 10));
+  EXPECT_TRUE(inf.always_precedes("Init", "SS"));
+  EXPECT_TRUE(inf.always_precedes("SS", "CA"));
+  EXPECT_FALSE(inf.always_precedes("CA", "SS"));   // SS occurs without CA before
+  EXPECT_FALSE(inf.always_precedes("SS", "Missing"));  // vacuous: not claimed
+}
+
+TEST(Inference, NeverFollowedByInvariant) {
+  StateMachineInference inf;
+  inf.add_trace(make_trace({{0, "A"}, {5, "B"}, {10, "C"}}, 20));
+  EXPECT_TRUE(inf.never_followed_by("C", "A"));
+  EXPECT_FALSE(inf.never_followed_by("A", "C"));  // A .. C occurs (eventually)
+  EXPECT_TRUE(inf.never_followed_by("B", "A"));
+}
+
+TEST(Inference, DotOutputContainsNodesAndEdges) {
+  StateMachineInference inf;
+  inf.add_trace(make_trace({{0, "SlowStart"}, {10, "Recovery"}}, 20));
+  const std::string dot = inf.to_dot("test");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"SlowStart\""), std::string::npos);
+  EXPECT_NE(dot.find("\"SlowStart\" -> \"Recovery\""), std::string::npos);
+}
+
+TEST(Inference, TrackerAdapterIncludesInitialState) {
+  StateTracker tracker(CcState::kInit);
+  tracker.transition(TimePoint{} + milliseconds(5), CcState::kSlowStart);
+  tracker.transition(TimePoint{} + milliseconds(15),
+                     CcState::kCongestionAvoidance);
+  const Trace t = trace_from_tracker(tracker, TimePoint{},
+                                     TimePoint{} + milliseconds(20));
+  ASSERT_EQ(t.events.size(), 3u);
+  EXPECT_EQ(t.events[0].state, "Init");
+  EXPECT_EQ(t.events[1].state, "SlowStart");
+  EXPECT_EQ(t.events[2].state, "CongestionAvoidance");
+
+  StateMachineInference inf;
+  inf.add_trace(t);
+  EXPECT_NEAR(inf.time_fraction("Init"), 0.25, 1e-9);
+  EXPECT_NEAR(inf.time_fraction("CongestionAvoidance"), 0.25, 1e-9);
+}
+
+TEST(Inference, EmptyTraceIgnored) {
+  StateMachineInference inf;
+  inf.add_trace(Trace{});
+  EXPECT_EQ(inf.trace_count(), 0u);
+  EXPECT_TRUE(inf.states().empty());
+}
+
+TEST(StateTrackerUnit, NoOpOnSameState) {
+  StateTracker tracker(CcState::kSlowStart);
+  tracker.transition(TimePoint{} + milliseconds(1), CcState::kSlowStart);
+  EXPECT_TRUE(tracker.trace().empty());
+}
+
+TEST(StateTrackerUnit, ListenerSeesTransitions) {
+  StateTracker tracker(CcState::kInit);
+  int calls = 0;
+  tracker.set_listener([&](const StateTransitionRecord& rec) {
+    ++calls;
+    EXPECT_EQ(rec.from, CcState::kInit);
+    EXPECT_EQ(rec.to, CcState::kSlowStart);
+  });
+  tracker.transition(TimePoint{}, CcState::kSlowStart);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(StateTrackerUnit, TimeInStateAccounting) {
+  StateTracker tracker(CcState::kInit);
+  tracker.transition(TimePoint{} + seconds(1), CcState::kSlowStart);
+  tracker.transition(TimePoint{} + seconds(3), CcState::kRecovery);
+  const auto fractions = tracker.time_in_state(TimePoint{} + seconds(10));
+  EXPECT_DOUBLE_EQ(fractions[static_cast<std::size_t>(CcState::kInit)], 1.0);
+  EXPECT_DOUBLE_EQ(fractions[static_cast<std::size_t>(CcState::kSlowStart)],
+                   2.0);
+  EXPECT_DOUBLE_EQ(fractions[static_cast<std::size_t>(CcState::kRecovery)],
+                   7.0);
+}
+
+}  // namespace
+}  // namespace longlook::smi

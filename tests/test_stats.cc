@@ -1,0 +1,118 @@
+// Unit tests: summary statistics, the incomplete beta function, Student's t
+// CDF, and Welch's t-test against reference values (scipy-checked).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace longlook::stats {
+namespace {
+
+TEST(Summary, MeanAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);
+  EXPECT_EQ(s.n, 8u);
+}
+
+TEST(Summary, DegenerateCases) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const std::vector<double> one{42.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(a,b) reference values.
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-10);       // uniform CDF
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.5), 0.5, 1e-10);       // symmetric
+  EXPECT_NEAR(incomplete_beta(2, 3, 0.4), 0.5248, 1e-4);
+  EXPECT_NEAR(incomplete_beta(5, 5, 0.7), 0.9011919, 1e-4);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 2, 1.0), 1.0);
+}
+
+TEST(StudentT, CdfKnownValues) {
+  // Symmetry at 0.
+  EXPECT_NEAR(student_t_cdf(0, 10), 0.5, 1e-10);
+  // t=2.228, df=10 is the 97.5th percentile.
+  EXPECT_NEAR(student_t_cdf(2.228, 10), 0.975, 1e-3);
+  // t=1.812, df=10 is the 95th percentile.
+  EXPECT_NEAR(student_t_cdf(1.812, 10), 0.95, 1e-3);
+  // Symmetry: P(T<=-t) = 1 - P(T<=t).
+  EXPECT_NEAR(student_t_cdf(-1.812, 10) + student_t_cdf(1.812, 10), 1.0,
+              1e-10);
+}
+
+TEST(Welch, ClearlyDifferentMeansAreSignificant) {
+  const std::vector<double> a{10.1, 10.2, 9.9, 10.0, 10.1, 9.8, 10.2, 10.0,
+                              9.9, 10.1};
+  const std::vector<double> b{12.0, 12.2, 11.9, 12.1, 12.0, 11.8, 12.1, 12.2,
+                              12.0, 11.9};
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_TRUE(r.significant(0.01));
+  EXPECT_LT(r.t, 0);  // a < b
+}
+
+TEST(Welch, OverlappingSamplesAreNot) {
+  const std::vector<double> a{10.0, 11.5, 9.0, 12.0, 10.5, 8.9, 11.9, 10.2};
+  const std::vector<double> b{10.4, 11.0, 9.5, 11.8, 10.9, 9.2, 11.2, 10.6};
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_FALSE(r.significant(0.01));
+}
+
+TEST(Welch, ReferenceStatistic) {
+  // Hand-computed: mean_a=21.0 var_a=15.724 (n=6), mean_b=23.714
+  // var_b=4.582 (n=7) => t = -2.714 / sqrt(15.724/6 + 4.582/7) = -1.4996.
+  const std::vector<double> a{27.5, 21.0, 19.0, 23.6, 17.0, 17.9};
+  const std::vector<double> b{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8};
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t, -1.4996, 0.01);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Welch, UnequalVariancesUseSatterthwaiteDf) {
+  const std::vector<double> a{1, 2, 1, 2, 1, 2};       // tiny variance
+  const std::vector<double> b{0, 20, -10, 30, 5, -15};  // huge variance
+  const WelchResult r = welch_t_test(a, b);
+  // df must be pulled toward the smaller sample's df, far below n1+n2-2=10.
+  EXPECT_LT(r.df, 7.0);
+  EXPECT_GT(r.df, 4.0);
+}
+
+TEST(Welch, TooFewSamplesNotSignificant) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{2.0, 3.0};
+  const std::vector<double> none{};
+  EXPECT_FALSE(welch_t_test(one, two).significant());
+  EXPECT_FALSE(welch_t_test(none, none).significant());
+}
+
+TEST(Welch, IdenticalZeroVarianceSamples) {
+  const std::vector<double> same{5, 5, 5};
+  const std::vector<double> other{6, 6, 6};
+  EXPECT_FALSE(welch_t_test(same, same).significant());
+  EXPECT_TRUE(welch_t_test(same, other).significant());
+}
+
+TEST(PercentDifference, Orientation) {
+  // Positive = QUIC faster (smaller PLT), per the paper's heatmaps.
+  EXPECT_DOUBLE_EQ(percent_difference(2.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_difference(1.0, 2.0), -100.0);
+  EXPECT_DOUBLE_EQ(percent_difference(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace longlook::stats

@@ -1,0 +1,94 @@
+// Unit tests: TCP segment wire format and configuration derivation.
+// (The connection state machine is exercised end-to-end in test_tcp_e2e.)
+#include <gtest/gtest.h>
+
+#include "tcp/connection.h"
+#include "tcp/segment.h"
+
+namespace longlook::tcp {
+namespace {
+
+TEST(TcpSegment, PlainDataRoundTrip) {
+  TcpSegment seg;
+  seg.src_port = 40001;
+  seg.dst_port = 443;
+  seg.seq = 1'000'000;
+  seg.ack = 999'999;
+  seg.ack_flag = true;
+  seg.window = 6 * 1024 * 1024;
+  seg.ts_val = 123456789;
+  seg.ts_ecr = 987654321;
+  seg.payload = Bytes(1430, 0x5A);
+  const Bytes wire = encode_segment(seg);
+  const auto out = decode_segment(wire);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->src_port, 40001);
+  EXPECT_EQ(out->dst_port, 443);
+  EXPECT_EQ(out->seq, 1'000'000u);
+  EXPECT_EQ(out->ack, 999'999u);
+  EXPECT_TRUE(out->ack_flag);
+  EXPECT_EQ(out->window, 6u * 1024 * 1024);
+  EXPECT_EQ(out->ts_val, 123456789u);
+  EXPECT_EQ(out->ts_ecr, 987654321u);
+  EXPECT_EQ(out->payload, seg.payload);
+}
+
+TEST(TcpSegment, FlagsRoundTrip) {
+  for (int mask = 0; mask < 32; ++mask) {
+    TcpSegment seg;
+    seg.syn = mask & 1;
+    seg.fin = mask & 2;
+    seg.ack_flag = mask & 4;
+    seg.rst = mask & 8;
+    seg.dsack = mask & 16;
+    if (seg.dsack) seg.sack.push_back({10, 20});
+    const auto out = decode_segment(encode_segment(seg));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->syn, seg.syn);
+    EXPECT_EQ(out->fin, seg.fin);
+    EXPECT_EQ(out->ack_flag, seg.ack_flag);
+    EXPECT_EQ(out->rst, seg.rst);
+    EXPECT_EQ(out->dsack, seg.dsack);
+  }
+}
+
+TEST(TcpSegment, SackBlocksRoundTrip) {
+  TcpSegment seg;
+  seg.sack = {{100, 200}, {300, 400}, {500, 600}};
+  seg.dsack = true;
+  const auto out = decode_segment(encode_segment(seg));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->sack.size(), 3u);
+  EXPECT_EQ(out->sack[0].start, 100u);
+  EXPECT_EQ(out->sack[2].end, 600u);
+  EXPECT_TRUE(out->dsack);
+}
+
+TEST(TcpSegment, TruncationRejected) {
+  TcpSegment seg;
+  seg.payload = Bytes(100, 1);
+  const Bytes wire = encode_segment(seg);
+  for (std::size_t len : {std::size_t{0}, std::size_t{10}, wire.size() - 1}) {
+    EXPECT_FALSE(decode_segment(BytesView(wire).first(len)).has_value());
+  }
+}
+
+TEST(TcpSegment, OverheadCoversEncodedHeader) {
+  TcpSegment seg;
+  seg.sack = {{1, 2}, {3, 4}};
+  const Bytes wire = encode_segment(seg);
+  EXPECT_LE(wire.size(), segment_overhead(seg.sack.size()));
+}
+
+TEST(TcpConfig, CcConfigMirrorsLinuxDefaults) {
+  TcpConfig cfg;
+  const CubicSenderConfig cc = cfg.make_cc_config();
+  EXPECT_EQ(cc.num_connections, 1);     // no N-connection emulation
+  EXPECT_EQ(cc.initial_cwnd_packets, 10u);  // IW10
+  EXPECT_FALSE(cc.pacing_enabled);      // stock kernel: no pacing
+  EXPECT_FALSE(cc.ssthresh_from_rwnd_bug);
+  EXPECT_EQ(cc.mss, kTcpMss);
+}
+
+}  // namespace
+}  // namespace longlook::tcp

@@ -1,0 +1,177 @@
+// Unit tests: byte codecs (varint, integers), RNG determinism and
+// distributions, and simulated-time helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace longlook {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Bytes, ReaderReportsTruncation) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.view());
+  EXPECT_FALSE(r.u32().has_value());  // only 2 bytes available
+  EXPECT_EQ(r.u16(), 7);              // unconsumed by the failed read
+  EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(Bytes, SkipAndRest) {
+  ByteWriter w;
+  w.str("hello");
+  ByteReader r(w.view());
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_FALSE(r.skip(4));
+  EXPECT_EQ(r.rest().size(), 3u);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  const std::uint64_t v = GetParam();
+  ByteWriter w;
+  w.varint(v);
+  EXPECT_EQ(w.size(), varint_length(v));
+  ByteReader r(w.view());
+  EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 62ULL, 63ULL, 64ULL, 16382ULL, 16383ULL,
+                      16384ULL, (1ULL << 30) - 1, 1ULL << 30,
+                      (1ULL << 40) + 12345, kVarintMax));
+
+TEST(Varint, ClampsAboveMax) {
+  ByteWriter w;
+  w.varint(kVarintMax + 5);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.varint(), kVarintMax);
+}
+
+TEST(Varint, LengthClasses) {
+  EXPECT_EQ(varint_length(0), 1u);
+  EXPECT_EQ(varint_length(63), 1u);
+  EXPECT_EQ(varint_length(64), 2u);
+  EXPECT_EQ(varint_length(16383), 2u);
+  EXPECT_EQ(varint_length(16384), 4u);
+  EXPECT_EQ(varint_length(1 << 30), 8u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.01)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.01, 0.002);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange) {
+  Rng rng(13);
+  int counts[5] = {0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(Rng, JitteredClampsAtZero) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.jittered(milliseconds(1), milliseconds(10)), kNoDuration);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(microseconds(2500)), 2.5);
+}
+
+TEST(Time, TransmissionDelay) {
+  // 1250 bytes at 10 Mbps = 1 ms.
+  EXPECT_EQ(transmission_delay(1250, 10'000'000), milliseconds(1));
+  // 1500 bytes at 1 Gbps = 12 us.
+  EXPECT_EQ(transmission_delay(1500, 1'000'000'000), microseconds(12));
+}
+
+}  // namespace
+}  // namespace longlook

@@ -1,0 +1,107 @@
+// Unit tests: video streaming QoE model — startup, steady playback at
+// sustainable bitrates, rebuffering when the link can't keep up, and the
+// fetch throttle.
+#include <gtest/gtest.h>
+
+#include "harness/testbed.h"
+#include "http/object_service.h"
+#include "http/quic_session.h"
+#include "video/streaming.h"
+
+namespace longlook::video {
+namespace {
+
+QoeMetrics stream(const harness::Scenario& scenario, StreamingConfig cfg) {
+  harness::Testbed tb(scenario);
+  http::QuicObjectServer server(tb.sim(), tb.server_host(),
+                                harness::kQuicPort, quic::QuicConfig{});
+  quic::TokenCache tokens;
+  http::QuicClientSession session(tb.sim(), tb.client_host(),
+                                  tb.server_host().address(),
+                                  harness::kQuicPort, quic::QuicConfig{},
+                                  tokens);
+  StreamingSession player(tb.sim(), session, cfg);
+  player.start(nullptr);
+  tb.run_until([&] { return player.finished(); },
+               cfg.watch_time + seconds(30));
+  return player.metrics();
+}
+
+TEST(Video, SmoothPlaybackAtSustainableBitrate) {
+  harness::Scenario s;
+  s.rate_bps = 50'000'000;
+  StreamingConfig cfg;
+  cfg.quality = quality_hd720();  // 2.5 Mbps << 50 Mbps
+  const QoeMetrics m = stream(s, cfg);
+  EXPECT_TRUE(m.started);
+  EXPECT_LT(m.time_to_start_s, 2.0);
+  EXPECT_EQ(m.rebuffer_count, 0);
+  EXPECT_NEAR(m.played_seconds, 60.0 - m.time_to_start_s, 1.0);
+}
+
+TEST(Video, RebuffersWhenBitrateExceedsLink) {
+  harness::Scenario s;
+  s.rate_bps = 20'000'000;  // hd2160 needs 45 Mbps
+  StreamingConfig cfg;
+  cfg.quality = quality_hd2160();
+  const QoeMetrics m = stream(s, cfg);
+  EXPECT_TRUE(m.started);
+  EXPECT_GT(m.rebuffer_count, 0);
+  EXPECT_GT(m.stalled_seconds, 1.0);
+  EXPECT_LT(m.played_seconds, 55.0);
+}
+
+TEST(Video, FractionLoadedScalesWithBitrate) {
+  // On a link that sustains the tiny encode but not hd720, the tiny encode
+  // covers a larger fraction of the hour-long video within the watch time.
+  harness::Scenario s;
+  s.rate_bps = 2'000'000;  // 2 Mbps: tiny (0.3 Mbps) ok, hd720 (2.5) is not
+  StreamingConfig tiny_cfg;
+  tiny_cfg.quality = quality_tiny();
+  StreamingConfig hd_cfg;
+  hd_cfg.quality = quality_hd720();
+  const QoeMetrics tiny = stream(s, tiny_cfg);
+  const QoeMetrics hd = stream(s, hd_cfg);
+  EXPECT_GT(tiny.fraction_loaded_pct, hd.fraction_loaded_pct);
+  EXPECT_GT(hd.rebuffer_count, 0);
+  EXPECT_EQ(tiny.rebuffer_count, 0);
+}
+
+TEST(Video, ThrottleCapsBufferedAhead) {
+  harness::Scenario s;
+  s.rate_bps = 100'000'000;
+  StreamingConfig cfg;
+  cfg.quality = quality_tiny();        // trivially sustainable
+  cfg.max_buffer_ahead = seconds(30);  // tight cap
+  const QoeMetrics m = stream(s, cfg);
+  // At most ~watch time + cap worth of video fetched, never the whole hour.
+  const double max_expected_s = 60.0 + 30.0 + 10.0;
+  EXPECT_LT(m.fraction_loaded_pct, max_expected_s / 3600.0 * 100.0 + 1.0);
+}
+
+TEST(Video, QualityLadderIsOrdered) {
+  const auto all = all_qualities();
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].bitrate_bps, all[i - 1].bitrate_bps);
+  }
+  EXPECT_EQ(all[0].name, "tiny");
+  EXPECT_EQ(all[3].name, "hd2160");
+}
+
+TEST(Video, MetricsInternallyConsistent) {
+  harness::Scenario s;
+  s.rate_bps = 20'000'000;
+  StreamingConfig cfg;
+  cfg.quality = quality_hd2160();
+  const QoeMetrics m = stream(s, cfg);
+  if (m.played_seconds > 0) {
+    EXPECT_NEAR(m.rebuffers_per_played_sec,
+                m.rebuffer_count / m.played_seconds, 1e-9);
+    EXPECT_NEAR(m.buffer_play_ratio_pct,
+                100.0 * m.stalled_seconds / m.played_seconds, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace longlook::video
