@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_calibration.cc" "bench/CMakeFiles/bench_fig02_calibration.dir/bench_fig02_calibration.cc.o" "gcc" "bench/CMakeFiles/bench_fig02_calibration.dir/bench_fig02_calibration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ll_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ll_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/smi/CMakeFiles/ll_smi.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ll_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/ll_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/ll_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/ll_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ll_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ll_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ll_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_fairness_timeline.dir/bench_fig04_fairness_timeline.cc.o"
+  "CMakeFiles/bench_fig04_fairness_timeline.dir/bench_fig04_fairness_timeline.cc.o.d"
+  "bench_fig04_fairness_timeline"
+  "bench_fig04_fairness_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_fairness_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

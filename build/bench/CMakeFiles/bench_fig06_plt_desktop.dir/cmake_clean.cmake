@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_plt_desktop.dir/bench_fig06_plt_desktop.cc.o"
+  "CMakeFiles/bench_fig06_plt_desktop.dir/bench_fig06_plt_desktop.cc.o.d"
+  "bench_fig06_plt_desktop"
+  "bench_fig06_plt_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_plt_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_plt_impaired.dir/bench_fig08_plt_impaired.cc.o"
+  "CMakeFiles/bench_fig08_plt_impaired.dir/bench_fig08_plt_impaired.cc.o.d"
+  "bench_fig08_plt_impaired"
+  "bench_fig08_plt_impaired.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_plt_impaired.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_plt_impaired.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_loss_cwnd.dir/bench_fig09_loss_cwnd.cc.o"
+  "CMakeFiles/bench_fig09_loss_cwnd.dir/bench_fig09_loss_cwnd.cc.o.d"
+  "bench_fig09_loss_cwnd"
+  "bench_fig09_loss_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_loss_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mobile.dir/bench_fig12_mobile.cc.o"
+  "CMakeFiles/bench_fig12_mobile.dir/bench_fig12_mobile.cc.o.d"
+  "bench_fig12_mobile"
+  "bench_fig12_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_macw.dir/bench_fig15_macw.cc.o"
+  "CMakeFiles/bench_fig15_macw.dir/bench_fig15_macw.cc.o.d"
+  "bench_fig15_macw"
+  "bench_fig15_macw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_macw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

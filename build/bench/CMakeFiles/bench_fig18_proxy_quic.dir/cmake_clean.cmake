@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_proxy_quic.dir/bench_fig18_proxy_quic.cc.o"
+  "CMakeFiles/bench_fig18_proxy_quic.dir/bench_fig18_proxy_quic.cc.o.d"
+  "bench_fig18_proxy_quic"
+  "bench_fig18_proxy_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_proxy_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

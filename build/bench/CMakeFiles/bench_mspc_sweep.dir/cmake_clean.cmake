@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mspc_sweep.dir/bench_mspc_sweep.cc.o"
+  "CMakeFiles/bench_mspc_sweep.dir/bench_mspc_sweep.cc.o.d"
+  "bench_mspc_sweep"
+  "bench_mspc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mspc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

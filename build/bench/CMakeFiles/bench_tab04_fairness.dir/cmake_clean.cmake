@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_fairness.dir/bench_tab04_fairness.cc.o"
+  "CMakeFiles/bench_tab04_fairness.dir/bench_tab04_fairness.cc.o.d"
+  "bench_tab04_fairness"
+  "bench_tab04_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

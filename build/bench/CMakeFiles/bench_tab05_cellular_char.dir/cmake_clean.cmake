@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_cellular_char.dir/bench_tab05_cellular_char.cc.o"
+  "CMakeFiles/bench_tab05_cellular_char.dir/bench_tab05_cellular_char.cc.o.d"
+  "bench_tab05_cellular_char"
+  "bench_tab05_cellular_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_cellular_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

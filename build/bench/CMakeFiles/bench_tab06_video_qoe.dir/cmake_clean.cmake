@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab06_video_qoe.dir/bench_tab06_video_qoe.cc.o"
+  "CMakeFiles/bench_tab06_video_qoe.dir/bench_tab06_video_qoe.cc.o.d"
+  "bench_tab06_video_qoe"
+  "bench_tab06_video_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_video_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab06_video_qoe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_to_head.dir/head_to_head.cc.o"
+  "CMakeFiles/head_to_head.dir/head_to_head.cc.o.d"
+  "head_to_head"
+  "head_to_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_to_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

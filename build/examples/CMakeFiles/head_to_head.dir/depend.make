@@ -1,0 +1,2 @@
+# Empty dependencies file for head_to_head.
+# This may be replaced when dependencies are built.

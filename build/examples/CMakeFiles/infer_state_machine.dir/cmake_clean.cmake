@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_state_machine.dir/infer_state_machine.cc.o"
+  "CMakeFiles/infer_state_machine.dir/infer_state_machine.cc.o.d"
+  "infer_state_machine"
+  "infer_state_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_state_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("cc")
+subdirs("quic")
+subdirs("tcp")
+subdirs("http")
+subdirs("video")
+subdirs("proxy")
+subdirs("smi")
+subdirs("stats")
+subdirs("harness")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/bbr_lite.cc" "src/cc/CMakeFiles/ll_cc.dir/bbr_lite.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/bbr_lite.cc.o.d"
+  "/root/repo/src/cc/cubic.cc" "src/cc/CMakeFiles/ll_cc.dir/cubic.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/cubic.cc.o.d"
+  "/root/repo/src/cc/cubic_sender.cc" "src/cc/CMakeFiles/ll_cc.dir/cubic_sender.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/cubic_sender.cc.o.d"
+  "/root/repo/src/cc/hystart.cc" "src/cc/CMakeFiles/ll_cc.dir/hystart.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/hystart.cc.o.d"
+  "/root/repo/src/cc/pacer.cc" "src/cc/CMakeFiles/ll_cc.dir/pacer.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/pacer.cc.o.d"
+  "/root/repo/src/cc/prr.cc" "src/cc/CMakeFiles/ll_cc.dir/prr.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/prr.cc.o.d"
+  "/root/repo/src/cc/rtt_estimator.cc" "src/cc/CMakeFiles/ll_cc.dir/rtt_estimator.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/rtt_estimator.cc.o.d"
+  "/root/repo/src/cc/state_tracker.cc" "src/cc/CMakeFiles/ll_cc.dir/state_tracker.cc.o" "gcc" "src/cc/CMakeFiles/ll_cc.dir/state_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ll_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_cc.dir/bbr_lite.cc.o"
+  "CMakeFiles/ll_cc.dir/bbr_lite.cc.o.d"
+  "CMakeFiles/ll_cc.dir/cubic.cc.o"
+  "CMakeFiles/ll_cc.dir/cubic.cc.o.d"
+  "CMakeFiles/ll_cc.dir/cubic_sender.cc.o"
+  "CMakeFiles/ll_cc.dir/cubic_sender.cc.o.d"
+  "CMakeFiles/ll_cc.dir/hystart.cc.o"
+  "CMakeFiles/ll_cc.dir/hystart.cc.o.d"
+  "CMakeFiles/ll_cc.dir/pacer.cc.o"
+  "CMakeFiles/ll_cc.dir/pacer.cc.o.d"
+  "CMakeFiles/ll_cc.dir/prr.cc.o"
+  "CMakeFiles/ll_cc.dir/prr.cc.o.d"
+  "CMakeFiles/ll_cc.dir/rtt_estimator.cc.o"
+  "CMakeFiles/ll_cc.dir/rtt_estimator.cc.o.d"
+  "CMakeFiles/ll_cc.dir/state_tracker.cc.o"
+  "CMakeFiles/ll_cc.dir/state_tracker.cc.o.d"
+  "libll_cc.a"
+  "libll_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

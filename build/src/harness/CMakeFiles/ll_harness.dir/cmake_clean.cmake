@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_harness.dir/compare.cc.o"
+  "CMakeFiles/ll_harness.dir/compare.cc.o.d"
+  "CMakeFiles/ll_harness.dir/fairness.cc.o"
+  "CMakeFiles/ll_harness.dir/fairness.cc.o.d"
+  "CMakeFiles/ll_harness.dir/report.cc.o"
+  "CMakeFiles/ll_harness.dir/report.cc.o.d"
+  "CMakeFiles/ll_harness.dir/testbed.cc.o"
+  "CMakeFiles/ll_harness.dir/testbed.cc.o.d"
+  "libll_harness.a"
+  "libll_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/h2_session.cc" "src/http/CMakeFiles/ll_http.dir/h2_session.cc.o" "gcc" "src/http/CMakeFiles/ll_http.dir/h2_session.cc.o.d"
+  "/root/repo/src/http/object_service.cc" "src/http/CMakeFiles/ll_http.dir/object_service.cc.o" "gcc" "src/http/CMakeFiles/ll_http.dir/object_service.cc.o.d"
+  "/root/repo/src/http/page_loader.cc" "src/http/CMakeFiles/ll_http.dir/page_loader.cc.o" "gcc" "src/http/CMakeFiles/ll_http.dir/page_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quic/CMakeFiles/ll_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ll_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ll_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ll_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_http.dir/h2_session.cc.o"
+  "CMakeFiles/ll_http.dir/h2_session.cc.o.d"
+  "CMakeFiles/ll_http.dir/object_service.cc.o"
+  "CMakeFiles/ll_http.dir/object_service.cc.o.d"
+  "CMakeFiles/ll_http.dir/page_loader.cc.o"
+  "CMakeFiles/ll_http.dir/page_loader.cc.o.d"
+  "libll_http.a"
+  "libll_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/ll_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/ll_net.dir/host.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/ll_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/ll_net.dir/link.cc.o.d"
+  "/root/repo/src/net/profiles.cc" "src/net/CMakeFiles/ll_net.dir/profiles.cc.o" "gcc" "src/net/CMakeFiles/ll_net.dir/profiles.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/ll_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/ll_net.dir/trace.cc.o.d"
+  "/root/repo/src/net/varbw.cc" "src/net/CMakeFiles/ll_net.dir/varbw.cc.o" "gcc" "src/net/CMakeFiles/ll_net.dir/varbw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ll_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_net.dir/host.cc.o"
+  "CMakeFiles/ll_net.dir/host.cc.o.d"
+  "CMakeFiles/ll_net.dir/link.cc.o"
+  "CMakeFiles/ll_net.dir/link.cc.o.d"
+  "CMakeFiles/ll_net.dir/profiles.cc.o"
+  "CMakeFiles/ll_net.dir/profiles.cc.o.d"
+  "CMakeFiles/ll_net.dir/trace.cc.o"
+  "CMakeFiles/ll_net.dir/trace.cc.o.d"
+  "CMakeFiles/ll_net.dir/varbw.cc.o"
+  "CMakeFiles/ll_net.dir/varbw.cc.o.d"
+  "libll_net.a"
+  "libll_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_proxy.dir/quic_proxy.cc.o"
+  "CMakeFiles/ll_proxy.dir/quic_proxy.cc.o.d"
+  "CMakeFiles/ll_proxy.dir/tcp_proxy.cc.o"
+  "CMakeFiles/ll_proxy.dir/tcp_proxy.cc.o.d"
+  "libll_proxy.a"
+  "libll_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/ack_manager.cc" "src/quic/CMakeFiles/ll_quic.dir/ack_manager.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/ack_manager.cc.o.d"
+  "/root/repo/src/quic/connection.cc" "src/quic/CMakeFiles/ll_quic.dir/connection.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/connection.cc.o.d"
+  "/root/repo/src/quic/endpoint.cc" "src/quic/CMakeFiles/ll_quic.dir/endpoint.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/endpoint.cc.o.d"
+  "/root/repo/src/quic/frames.cc" "src/quic/CMakeFiles/ll_quic.dir/frames.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/frames.cc.o.d"
+  "/root/repo/src/quic/sent_packet_manager.cc" "src/quic/CMakeFiles/ll_quic.dir/sent_packet_manager.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/sent_packet_manager.cc.o.d"
+  "/root/repo/src/quic/stream.cc" "src/quic/CMakeFiles/ll_quic.dir/stream.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/stream.cc.o.d"
+  "/root/repo/src/quic/version.cc" "src/quic/CMakeFiles/ll_quic.dir/version.cc.o" "gcc" "src/quic/CMakeFiles/ll_quic.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ll_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ll_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ll_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

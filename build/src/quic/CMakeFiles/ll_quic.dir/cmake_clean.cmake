@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_quic.dir/ack_manager.cc.o"
+  "CMakeFiles/ll_quic.dir/ack_manager.cc.o.d"
+  "CMakeFiles/ll_quic.dir/connection.cc.o"
+  "CMakeFiles/ll_quic.dir/connection.cc.o.d"
+  "CMakeFiles/ll_quic.dir/endpoint.cc.o"
+  "CMakeFiles/ll_quic.dir/endpoint.cc.o.d"
+  "CMakeFiles/ll_quic.dir/frames.cc.o"
+  "CMakeFiles/ll_quic.dir/frames.cc.o.d"
+  "CMakeFiles/ll_quic.dir/sent_packet_manager.cc.o"
+  "CMakeFiles/ll_quic.dir/sent_packet_manager.cc.o.d"
+  "CMakeFiles/ll_quic.dir/stream.cc.o"
+  "CMakeFiles/ll_quic.dir/stream.cc.o.d"
+  "CMakeFiles/ll_quic.dir/version.cc.o"
+  "CMakeFiles/ll_quic.dir/version.cc.o.d"
+  "libll_quic.a"
+  "libll_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_sim.dir/simulator.cc.o"
+  "CMakeFiles/ll_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ll_sim.dir/timer.cc.o"
+  "CMakeFiles/ll_sim.dir/timer.cc.o.d"
+  "libll_sim.a"
+  "libll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_smi.dir/inference.cc.o"
+  "CMakeFiles/ll_smi.dir/inference.cc.o.d"
+  "libll_smi.a"
+  "libll_smi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_smi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

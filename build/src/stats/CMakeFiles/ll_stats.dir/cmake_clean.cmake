@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_stats.dir/stats.cc.o"
+  "CMakeFiles/ll_stats.dir/stats.cc.o.d"
+  "libll_stats.a"
+  "libll_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_tcp.dir/connection.cc.o"
+  "CMakeFiles/ll_tcp.dir/connection.cc.o.d"
+  "CMakeFiles/ll_tcp.dir/endpoint.cc.o"
+  "CMakeFiles/ll_tcp.dir/endpoint.cc.o.d"
+  "CMakeFiles/ll_tcp.dir/segment.cc.o"
+  "CMakeFiles/ll_tcp.dir/segment.cc.o.d"
+  "libll_tcp.a"
+  "libll_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_util.dir/bytes.cc.o"
+  "CMakeFiles/ll_util.dir/bytes.cc.o.d"
+  "CMakeFiles/ll_util.dir/logging.cc.o"
+  "CMakeFiles/ll_util.dir/logging.cc.o.d"
+  "CMakeFiles/ll_util.dir/rng.cc.o"
+  "CMakeFiles/ll_util.dir/rng.cc.o.d"
+  "libll_util.a"
+  "libll_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

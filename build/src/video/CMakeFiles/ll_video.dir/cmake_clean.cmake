@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ll_video.dir/streaming.cc.o"
+  "CMakeFiles/ll_video.dir/streaming.cc.o.d"
+  "libll_video.a"
+  "libll_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ll_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_components.dir/test_quic_components.cc.o"
+  "CMakeFiles/test_quic_components.dir/test_quic_components.cc.o.d"
+  "test_quic_components"
+  "test_quic_components.pdb"
+  "test_quic_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_units.dir/test_tcp_units.cc.o"
+  "CMakeFiles/test_tcp_units.dir/test_tcp_units.cc.o.d"
+  "test_tcp_units"
+  "test_tcp_units.pdb"
+  "test_tcp_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_smi[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_components[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_units[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_video[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_property_random[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_handshake[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_findings[1]_include.cmake")
+include("/root/repo/build/tests/test_quic_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_e2e[1]_include.cmake")
