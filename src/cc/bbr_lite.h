@@ -73,7 +73,7 @@ class BbrLite final : public SendAlgorithm {
   StateTracker cc_tracker_;  // coarse Table-3 mirror for shared tooling
   std::vector<BbrTransition> trace_;
 
-  std::size_t cwnd_;
+  std::size_t cwnd_ = 0;
   double pacing_gain_ = 2.885;
   double cwnd_gain_ = 2.885;
 

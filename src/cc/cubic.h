@@ -40,8 +40,8 @@ class Cubic {
   static constexpr double kCubeFactor = 0.4;  // C
   static constexpr double kBeta = 0.7;        // standard CUBIC beta
 
-  std::size_t mss_;
-  int num_connections_;
+  std::size_t mss_ = 0;
+  int num_connections_ = 1;
 
   TimePoint epoch_{};
   bool epoch_valid_ = false;

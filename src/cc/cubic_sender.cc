@@ -56,6 +56,7 @@ void CubicSender::enter_recovery(TimePoint now, std::size_t bytes_in_flight) {
   in_recovery_ = true;
   recovery_end_ = largest_sent_;
   prr_.enter_recovery(bytes_in_flight, ssthresh_, config_.mss);
+  check_window_invariants();
   update_state(now);
 }
 
@@ -83,6 +84,7 @@ void CubicSender::grow_window(TimePoint now, const AckedPacket& acked,
     cwnd_ = cubic_.window_after_ack(acked.bytes, cwnd_, rtt_.min_rtt(), now);
   }
   cwnd_ = std::min(cwnd_, max_congestion_window());
+  check_window_invariants();
 }
 
 void CubicSender::on_congestion_event(TimePoint now,
@@ -132,6 +134,7 @@ void CubicSender::on_retransmission_timeout(TimePoint now) {
   hystart_.restart();
   in_recovery_ = false;
   rto_outstanding_ = true;
+  check_window_invariants();
   tracker_.transition(now, CcState::kRetransmissionTimeout);
 }
 

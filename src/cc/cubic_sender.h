@@ -8,6 +8,7 @@
 // Chromium (Sec. 5.1).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "cc/cubic.h"
@@ -15,6 +16,7 @@
 #include "cc/pacer.h"
 #include "cc/prr.h"
 #include "cc/send_algorithm.h"
+#include "util/check.h"
 
 namespace longlook {
 
@@ -79,6 +81,21 @@ class CubicSender final : public SendAlgorithm {
                    std::size_t prior_in_flight);
   void update_state(TimePoint now);
 
+  // The Table-3 window bounds every transition must respect: cwnd stays
+  // within [min_cwnd, max(MACW, initial cwnd)] and ssthresh never drops
+  // below the minimum window. Called after every window mutation.
+  void check_window_invariants() const {
+    const std::size_t floor = config_.min_cwnd_packets * config_.mss;
+    const std::size_t ceiling = std::max(
+        max_congestion_window(), config_.initial_cwnd_packets * config_.mss);
+    LL_INVARIANT(cwnd_ >= floor)
+        << "cwnd " << cwnd_ << " below minimum window " << floor;
+    LL_INVARIANT(cwnd_ <= ceiling)
+        << "cwnd " << cwnd_ << " above MACW ceiling " << ceiling;
+    LL_INVARIANT(ssthresh_ >= floor)
+        << "ssthresh " << ssthresh_ << " below minimum window " << floor;
+  }
+
   const RttEstimator& rtt_;
   CubicSenderConfig config_;
   Cubic cubic_;
@@ -87,8 +104,8 @@ class CubicSender final : public SendAlgorithm {
   Pacer pacer_;
   StateTracker tracker_;
 
-  std::size_t cwnd_;
-  std::size_t ssthresh_;
+  std::size_t cwnd_ = 0;
+  std::size_t ssthresh_ = 0;
   bool established_ = false;
   bool in_recovery_ = false;
   bool app_limited_ = false;

@@ -1,10 +1,17 @@
 #include "cc/prr.h"
 
+#include "util/check.h"
+
 namespace longlook {
 
 void ProportionalRateReduction::enter_recovery(std::size_t bytes_in_flight,
                                                std::size_t ssthresh,
                                                std::size_t mss) {
+  // A zero MSS would make both PRR phases divide-by-zero-adjacent and the
+  // probe clause meaningless; a zero ssthresh would deadlock recovery.
+  LL_CHECK(mss > 0) << "PRR entered recovery with mss=0";
+  LL_INVARIANT(ssthresh >= mss)
+      << "PRR ssthresh " << ssthresh << " below one mss " << mss;
   recovery_flight_size_ = bytes_in_flight;
   ssthresh_ = ssthresh;
   mss_ = mss;

@@ -54,7 +54,7 @@ class H2Stream final : public AppStream {
 
  private:
   H2Session& session_;
-  std::uint64_t id_;
+  std::uint64_t id_ = 0;
   bool remote_closed_ = false;
   std::function<void(BytesView, bool)> on_data_;
 };
@@ -79,11 +79,11 @@ class H2Session {
   void dispatch(std::uint64_t stream_id, BytesView data, bool fin);
 
   tcp::TcpConnection& conn_;
-  bool is_client_;
-  std::size_t max_concurrent_;
+  bool is_client_ = false;
+  std::size_t max_concurrent_ = 0;
   H2Framer framer_;
   std::map<std::uint64_t, std::unique_ptr<H2Stream>> streams_;
-  std::uint64_t next_stream_id_;
+  std::uint64_t next_stream_id_ = 0;
   std::function<void(H2Stream&)> on_new_stream_;
 };
 
@@ -106,7 +106,7 @@ class H2ClientSession final : public ClientSession {
 
  private:
   tcp::TcpClient client_;
-  std::size_t max_concurrent_;
+  std::size_t max_concurrent_ = 0;
   std::unique_ptr<H2Session> session_;
 };
 

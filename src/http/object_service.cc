@@ -44,7 +44,11 @@ void ObjectService::respond(AppStream& stream, std::size_t size,
     }
     auto remaining = std::make_shared<std::size_t>(size);
     auto pump = std::make_shared<std::function<void()>>();
-    *pump = [this, &stream, flush, remaining, pump] {
+    // The pump must not capture its own shared_ptr (that cycle never frees);
+    // each scheduled event holds the strong reference instead, so the pump
+    // dies with its last pending event.
+    std::weak_ptr<std::function<void()>> weak_pump = pump;
+    *pump = [this, &stream, flush, remaining, weak_pump] {
       bool wrote = false;
       while (*remaining > 0 && stream.write_backlog() < kBacklogLimit) {
         const std::size_t n = std::min(kChunk, *remaining);
@@ -54,7 +58,11 @@ void ObjectService::respond(AppStream& stream, std::size_t size,
         wrote = true;
       }
       if (wrote && flush) flush();
-      if (*remaining > 0) sim_.schedule(milliseconds(2), *pump);
+      if (*remaining > 0) {
+        if (auto self = weak_pump.lock()) {
+          sim_.schedule(milliseconds(2), [self] { (*self)(); });
+        }
+      }
     };
     (*pump)();
   };

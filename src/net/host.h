@@ -80,6 +80,19 @@ class Host {
   void set_device_profile(DeviceProfile profile) { profile_ = std::move(profile); }
   const DeviceProfile& device_profile() const { return profile_; }
 
+  // Deterministic per-host identifier allocation. These were once
+  // process-global statics, which leaked allocation state between runs in
+  // the same process and broke same-seed replay (the client's ephemeral
+  // port differed between two identical runs — caught by
+  // tests/test_determinism.cc).
+  Port allocate_ephemeral_port(IpProto proto) {
+    return proto == IpProto::kUdp ? next_udp_port_++ : next_tcp_port_++;
+  }
+  // Unique across hosts (address in the high bits) and repeatable per run.
+  std::uint64_t allocate_connection_id() {
+    return (static_cast<std::uint64_t>(addr_) << 32) | next_cid_++;
+  }
+
   std::uint64_t packets_forwarded() const { return forwarded_; }
   std::uint64_t packets_received() const { return received_; }
   std::uint64_t packets_undeliverable() const { return undeliverable_; }
@@ -88,7 +101,7 @@ class Host {
   void dispatch(Packet&& p);
 
   Simulator& sim_;
-  Address addr_;
+  Address addr_ = 0;
   std::string name_;
   DeviceProfile profile_;
 
@@ -99,6 +112,10 @@ class Host {
   // Serial-CPU availability per processing class.
   TimePoint userspace_busy_until_{};
   TimePoint kernel_busy_until_{};
+
+  Port next_udp_port_ = 49152;
+  Port next_tcp_port_ = 40000;
+  std::uint64_t next_cid_ = 0x100;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t received_ = 0;

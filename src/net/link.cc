@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace longlook {
@@ -36,6 +37,7 @@ void DirectionalLink::send(Packet&& p) {
   }
   queued_bytes_ += size;
   queue_.push_back(std::move(p));
+  LL_DCHECK(conserves_packets()) << "link lost track of a packet on enqueue";
   schedule_drain();
 }
 
@@ -83,8 +85,14 @@ void DirectionalLink::drain() {
     Packet p = std::move(queue_.front());
     queue_.pop_front();
     queued_bytes_ -= static_cast<std::int64_t>(p.wire_size());
+    LL_INVARIANT(queued_bytes_ >= 0)
+        << "link queue byte accounting went negative (" << queued_bytes_
+        << ") draining a " << p.wire_size() << "B packet";
     emit(std::move(p));
   }
+  // Byte and packet accounting must agree with the queue's actual contents.
+  LL_INVARIANT(!queue_.empty() || queued_bytes_ == 0)
+      << "empty link queue still holds " << queued_bytes_ << " bytes";
   schedule_drain();
 }
 
@@ -103,13 +111,18 @@ void DirectionalLink::emit(Packet&& p) {
   }
   // Deliver at the packet's own adjusted time. Inverted adjusted times =>
   // out-of-order delivery, exactly like netem's per-packet delay queue.
+  ++in_transit_;
   sim_.schedule(delay, [this, pkt = std::move(p)]() mutable {
+    LL_DCHECK(in_transit_ > 0);
+    --in_transit_;
     if (pkt.emission_seq < last_delivered_seq_) {
       ++stats_.delivered_out_of_order;
     }
     last_delivered_seq_ = std::max(last_delivered_seq_, pkt.emission_seq);
     ++stats_.delivered;
     stats_.bytes_delivered += static_cast<std::int64_t>(pkt.wire_size());
+    LL_DCHECK(conserves_packets()) << "link lost track of a packet in the "
+                                      "delay stage";
     if (tap_) tap_(LinkEvent::kDelivered, pkt, sim_.now());
     deliver_(std::move(pkt));
   });

@@ -88,6 +88,13 @@ class DirectionalLink {
   void drain();
   void emit(Packet&& p);  // after serialisation: netem stage
   void refill_tokens();
+  // Every packet ever enqueued is delivered, dropped, queued, or in the
+  // delay stage — none silently vanish or duplicate.
+  bool conserves_packets() const {
+    return stats_.enqueued == stats_.delivered + stats_.dropped_queue +
+                                  stats_.dropped_random + queue_.size() +
+                                  in_transit_;
+  }
 
   Simulator& sim_;
   LinkConfig config_;
@@ -99,6 +106,10 @@ class DirectionalLink {
   double tokens_ = 0;  // bytes of credit
   TimePoint last_refill_{};
   bool drain_scheduled_ = false;
+  // Packets emitted into the netem delay stage but not yet delivered; part
+  // of the conservation invariant (enqueued == delivered + dropped +
+  // queued + in transit).
+  std::uint64_t in_transit_ = 0;
 
   std::uint64_t next_emission_seq_ = 1;
   std::uint64_t last_delivered_seq_ = 0;

@@ -16,11 +16,11 @@ namespace longlook {
 
 struct CellularProfile {
   std::string name;
-  double throughput_mbps;  // downlink cap
-  double rtt_ms;           // path RTT average
-  double rtt_std_ms;       // RTT standard deviation
-  double reorder_pct;      // packets delivered out of order (%)
-  double loss_pct;         // random loss (%)
+  double throughput_mbps = 0;  // downlink cap
+  double rtt_ms = 0;           // path RTT average
+  double rtt_std_ms = 0;       // RTT standard deviation
+  double reorder_pct = 0;      // packets delivered out of order (%)
+  double loss_pct = 0;         // random loss (%)
 };
 
 // Table 5 rows. Where the camera-ready table is ambiguous in our source text

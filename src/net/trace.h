@@ -52,7 +52,7 @@ class PacketTrace {
  private:
   void on_event(LinkEvent event, const Packet& p, TimePoint now);
 
-  std::size_t capacity_;
+  std::size_t capacity_ = 0;
   std::vector<TraceRecord> records_;
   std::uint64_t dropped_records_ = 0;
   std::uint64_t last_delivered_seq_ = 0;

@@ -30,9 +30,9 @@ class VariableBandwidthSchedule {
   void tick();
 
   Simulator& sim_;
-  std::int64_t lo_;
-  std::int64_t hi_;
-  Duration interval_;
+  std::int64_t lo_ = 0;
+  std::int64_t hi_ = 0;
+  Duration interval_ = kNoDuration;
   Rng rng_;
   std::vector<DirectionalLink*> links_;
   std::int64_t current_ = 0;

@@ -38,8 +38,8 @@ class QuicProxy {
 
   Simulator& sim_;
   Host& host_;
-  Address origin_;
-  Port origin_port_;
+  Address origin_ = 0;
+  Port origin_port_ = 0;
   quic::QuicConfig leg_config_;
   quic::QuicServer server_;
   std::map<quic::ConnectionId, std::unique_ptr<Upstream>> upstreams_;

@@ -33,8 +33,8 @@ class TcpProxy {
 
   Simulator& sim_;
   Host& host_;
-  Address origin_;
-  Port origin_port_;
+  Address origin_ = 0;
+  Port origin_port_ = 0;
   tcp::TcpConfig leg_config_;
   tcp::TcpServer server_;
   std::vector<std::unique_ptr<Pipe>> pipes_;

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace longlook::quic {
+
+bool AckManager::ranges_well_formed() const {
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].lo > ranges_[i].hi) return false;
+    // Adjacent ranges must have been merged; a seam here means the ACK
+    // frame would misreport a hole that does not exist.
+    if (i > 0 && ranges_[i].lo <= ranges_[i - 1].hi + 1) return false;
+  }
+  return true;
+}
 
 bool AckManager::on_packet_received(TimePoint now, PacketNumber pn,
                                     bool retransmittable) {
@@ -12,6 +24,8 @@ bool AckManager::on_packet_received(TimePoint now, PacketNumber pn,
   }
   const bool reordered = !ranges_.empty() && pn < largest_;
   insert(pn);
+  LL_DCHECK(ranges_well_formed())
+      << "ack ranges corrupted inserting pn " << pn;
   if (pn > largest_ || largest_received_at_ == TimePoint{}) {
     largest_ = std::max(largest_, pn);
     largest_received_at_ = now;
@@ -62,6 +76,11 @@ std::optional<TimePoint> AckManager::ack_deadline() const {
 }
 
 AckFrame AckManager::build_ack(TimePoint now) {
+  // The outgoing frame must be internally consistent: the top range carries
+  // largest_acked (unless STOP_WAITING emptied the ranges entirely).
+  LL_INVARIANT(ranges_.empty() || ranges_.back().hi == largest_)
+      << "largest received pn " << largest_
+      << " not covered by top ack range";
   AckFrame f;
   f.largest_acked = largest_;
   f.largest_received_at = largest_received_at_;
@@ -82,6 +101,8 @@ void AckManager::on_stop_waiting(PacketNumber least_unacked) {
   if (!ranges_.empty() && ranges_.front().lo < least_unacked) {
     ranges_.front().lo = least_unacked;
   }
+  LL_DCHECK(ranges_well_formed())
+      << "ack ranges corrupted by stop_waiting(" << least_unacked << ")";
 }
 
 }  // namespace longlook::quic

@@ -46,6 +46,9 @@ class AckManager {
 
  private:
   void insert(PacketNumber pn);
+  // Ranges are ascending, disjoint, non-adjacent, and each lo <= hi
+  // (O(ranges), LL_DCHECK-only).
+  bool ranges_well_formed() const;
 
   AckManagerConfig config_;
   std::vector<AckRange> ranges_;  // ascending, disjoint

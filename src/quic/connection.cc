@@ -300,9 +300,12 @@ void QuicConnection::handle_stream(const StreamFrame& sf, TimePoint now) {
   consume_busy_until_ = std::max(now, consume_busy_until_) + cost;
   const StreamId sid = s.id();
   const std::size_t bytes = result.newly_delivered;
-  sim_.schedule_at(consume_busy_until_, [this, sid, bytes] {
-    on_consumed(sid, bytes);
-  });
+  sim_.schedule_at(consume_busy_until_,
+                   [this, sid, bytes,
+                    token = std::weak_ptr<char>(live_token_)] {
+                     if (token.expired()) return;
+                     on_consumed(sid, bytes);
+                   });
 }
 
 void QuicConnection::on_consumed(StreamId sid, std::size_t bytes) {
@@ -524,8 +527,10 @@ void QuicConnection::send_ack_now() {
   // behind the paper's Hybrid-Slow-Start early exit.
   const Duration cost = ack_emission_cost();
   if (cost > kNoDuration) {
-    sim_.schedule(cost, [this, p = std::move(pkt)]() mutable {
-      if (!closed_) send_quic_packet(std::move(p), false, {});
+    sim_.schedule(cost, [this, p = std::move(pkt),
+                         token = std::weak_ptr<char>(live_token_)]() mutable {
+      if (token.expired() || closed_) return;
+      send_quic_packet(std::move(p), false, {});
     });
   } else {
     send_quic_packet(std::move(pkt), false, {});
@@ -593,7 +598,7 @@ void QuicConnection::set_retransmission_alarm() {
 
   const Duration srtt =
       rtt_.has_samples() ? rtt_.smoothed() : RttEstimator::kInitialRtt;
-  TimePoint probe_deadline;
+  TimePoint probe_deadline{};
   if (tlp_count_ < 2) {
     const Duration tlp_delay =
         std::max(2 * srtt, srtt * 3 / 2 + config_.ack.max_ack_delay);

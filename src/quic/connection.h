@@ -152,9 +152,9 @@ class QuicConnection {
   Host& host_;
   Perspective perspective_;
   ConnectionId cid_;
-  Address peer_;
-  Port peer_port_;
-  Port local_port_;
+  Address peer_ = 0;
+  Port peer_port_ = 0;
+  Port local_port_ = 0;
   QuicConfig config_;
   TokenCache* token_cache_;
 
@@ -171,6 +171,10 @@ class QuicConnection {
   PacketNumber next_packet_number_ = 1;
   bool established_ = false;
   bool closed_ = false;
+  // Deferred CPU-cost callbacks (app consume, ACK emission) capture a weak
+  // reference to this token instead of a raw `this`, so events that outlive
+  // the connection become no-ops rather than use-after-frees.
+  std::shared_ptr<char> live_token_ = std::make_shared<char>(0);
   std::function<void()> on_established_cb_;
   std::function<void(QuicStream&)> on_new_stream_;
 

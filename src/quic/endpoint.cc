@@ -1,29 +1,16 @@
 #include "quic/endpoint.h"
 
-#include <atomic>
-
 #include "util/logging.h"
 
 namespace longlook::quic {
-namespace {
-
-Port next_ephemeral_port() {
-  static std::atomic<Port> next{49152};
-  return next++;
-}
-
-std::uint64_t next_connection_id() {
-  static std::atomic<std::uint64_t> next{0x100};
-  return next++;
-}
-
-}  // namespace
 
 QuicClient::QuicClient(Simulator& sim, Host& host, Address server,
                        Port server_port, QuicConfig config, TokenCache& tokens)
-    : sim_(sim), host_(host), local_port_(next_ephemeral_port()) {
+    : sim_(sim),
+      host_(host),
+      local_port_(host.allocate_ephemeral_port(IpProto::kUdp)) {
   connection_ = std::make_unique<QuicConnection>(
-      sim, host, Perspective::kClient, next_connection_id(), server,
+      sim, host, Perspective::kClient, host.allocate_connection_id(), server,
       server_port, local_port_, config, &tokens);
   host_.bind(IpProto::kUdp, local_port_, this);
 }

@@ -33,7 +33,7 @@ class QuicClient : public PacketSink {
  private:
   Simulator& sim_;
   Host& host_;
-  Port local_port_;
+  Port local_port_ = 0;
   std::unique_ptr<QuicConnection> connection_;
 };
 
@@ -68,7 +68,7 @@ class QuicServer : public PacketSink {
  private:
   Simulator& sim_;
   Host& host_;
-  Port port_;
+  Port port_ = 0;
   QuicConfig config_;
   StreamHandler stream_handler_;
   std::map<ConnectionId, std::unique_ptr<QuicConnection>> connections_;

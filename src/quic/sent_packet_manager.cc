@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace longlook::quic {
 
 void SentPacketManager::on_packet_sent(PacketNumber pn, std::size_t bytes,
@@ -20,7 +22,12 @@ void SentPacketManager::on_packet_sent(PacketNumber pn, std::size_t bytes,
     last_retransmittable_sent_ = now;
     bytes_in_flight_ += bytes;
   }
-  packets_.emplace(pn, std::move(info));
+  // Packet numbers are never reused: a duplicate would corrupt the in-flight
+  // accounting and every loss-detection decision downstream. (Delayed
+  // ack-emission means pn may arrive here out of order, so uniqueness — not
+  // monotonicity — is the invariant.)
+  const bool inserted = packets_.emplace(pn, std::move(info)).second;
+  LL_INVARIANT(inserted) << "packet number " << pn << " reused";
 }
 
 Duration SentPacketManager::loss_delay(const RttEstimator& rtt) const {
@@ -43,6 +50,9 @@ void SentPacketManager::declare_lost(
   if (info.declared_lost || !info.in_flight) return;
   info.declared_lost = true;
   info.in_flight = false;
+  LL_INVARIANT(bytes_in_flight_ >= info.bytes)
+      << "in-flight underflow declaring pn " << it->first << " lost ("
+      << bytes_in_flight_ << " < " << info.bytes << ")";
   bytes_in_flight_ -= info.bytes;
   ++losses_declared_;
   out.lost.push_back({it->first, info.bytes});
@@ -53,6 +63,19 @@ void SentPacketManager::declare_lost(
 AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
                                            RttEstimator& rtt) {
   AckProcessResult out;
+
+  // ACK-frame consistency: the peer cannot ack packets we never sent, and
+  // every range must be well-formed and covered by largest_acked.
+  LL_INVARIANT(ack.largest_acked <= largest_sent_)
+      << "peer acked unsent pn " << ack.largest_acked << " (largest sent "
+      << largest_sent_ << ")";
+  for (const AckRange& range : ack.ranges) {
+    LL_INVARIANT(range.lo <= range.hi)
+        << "inverted ack range [" << range.lo << ", " << range.hi << "]";
+    LL_INVARIANT(range.hi <= ack.largest_acked)
+        << "ack range [" << range.lo << ", " << range.hi
+        << "] above largest_acked " << ack.largest_acked;
+  }
 
   // 1. Mark acked packets.
   for (const AckRange& range : ack.ranges) {
@@ -77,6 +100,8 @@ AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
         continue;
       }
       if (info.in_flight) {
+        LL_INVARIANT(bytes_in_flight_ >= info.bytes)
+            << "in-flight underflow acking pn " << it->first;
         bytes_in_flight_ -= info.bytes;
         info.in_flight = false;
       }
@@ -127,7 +152,18 @@ AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
       ++it;
     }
   }
+  LL_DCHECK(in_flight_accounting_consistent())
+      << "bytes_in_flight_ diverged from per-packet state after ACK of "
+      << ack.largest_acked;
   return out;
+}
+
+bool SentPacketManager::in_flight_accounting_consistent() const {
+  std::size_t sum = 0;
+  for (const auto& [pn, info] : packets_) {
+    if (info.in_flight) sum += info.bytes;
+  }
+  return sum == bytes_in_flight_;
 }
 
 std::optional<TimePoint> SentPacketManager::earliest_loss_time(
@@ -170,6 +206,8 @@ std::vector<StreamDataRef> SentPacketManager::on_retransmission_timeout() {
     if (!info.in_flight) continue;
     info.in_flight = false;
     info.declared_lost = true;
+    LL_INVARIANT(bytes_in_flight_ >= info.bytes)
+        << "in-flight underflow on RTO for pn " << pn;
     bytes_in_flight_ -= info.bytes;
     if (info.retransmittable) {
       for (const StreamDataRef& ref : info.data) out.push_back(ref);

@@ -105,6 +105,9 @@ class SentPacketManager {
   void declare_lost(std::map<PacketNumber, SentPacketInfo>::iterator it,
                     AckProcessResult& out);
   Duration loss_delay(const RttEstimator& rtt) const;
+  // bytes_in_flight_ equals the sum over tracked in-flight packets (O(n),
+  // LL_DCHECK-only).
+  bool in_flight_accounting_consistent() const;
 
   LossDetectionConfig config_;
   std::size_t nack_threshold_{config_.nack_threshold};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace longlook::quic {
 
 QuicStream::QuicStream(StreamId id, std::size_t send_window,
@@ -30,6 +32,9 @@ bool QuicStream::blocked_by_stream_fc() const {
 
 std::optional<SendChunk> QuicStream::take_chunk(std::size_t max_len,
                                                 std::uint64_t conn_allowance) {
+  LL_INVARIANT(next_send_offset_ <= send_buffer_.size())
+      << "stream " << id_ << " send offset " << next_send_offset_
+      << " past buffered " << send_buffer_.size();
   if (max_len == 0) return std::nullopt;
   // Retransmissions first: fastest way to fill holes at the receiver.
   if (!retx_.empty()) {
@@ -71,6 +76,12 @@ std::optional<SendChunk> QuicStream::take_chunk(std::size_t max_len,
       chunk.fin = true;
       fin_sent_ = true;
     }
+    // Fresh data must respect the peer's stream flow-control window; a
+    // violation here is the sender overrunning MAX_STREAM_DATA.
+    LL_INVARIANT(chunk.offset + chunk.data.size() <= peer_max_offset_)
+        << "stream " << id_ << " sent past peer window: offset "
+        << chunk.offset << " + " << chunk.data.size() << " > "
+        << peer_max_offset_;
     return chunk;
   }
 
@@ -99,6 +110,11 @@ QuicStream::RecvResult QuicStream::on_stream_frame(std::uint64_t offset,
                                                    BytesView data, bool fin) {
   RecvResult result;
   if (fin) {
+    // A retransmitted FIN must land at the same final offset; a moving FIN
+    // means sender and receiver disagree about the stream's length.
+    LL_INVARIANT(!fin_received_ || fin_offset_ == offset + data.size())
+        << "stream " << id_ << " FIN moved from " << fin_offset_ << " to "
+        << offset + data.size();
     fin_received_ = true;
     fin_offset_ = offset + data.size();
   }
@@ -141,6 +157,9 @@ QuicStream::RecvResult QuicStream::on_stream_frame(std::uint64_t offset,
     }
     if (at_fin) result.fin_delivered = true;
   }
+  LL_INVARIANT(!fin_received_ || delivered_ <= fin_offset_)
+      << "stream " << id_ << " delivered " << delivered_
+      << " bytes past FIN offset " << fin_offset_;
   // Empty FIN (or FIN that became contiguous with no buffered data).
   if (fin_received_ && delivered_ == fin_offset_ && !fin_signalled_) {
     fin_signalled_ = true;
@@ -152,6 +171,11 @@ QuicStream::RecvResult QuicStream::on_stream_frame(std::uint64_t offset,
 
 std::optional<std::uint64_t> QuicStream::take_window_update(
     TimePoint now, Duration rtt_floor, std::size_t max_window) {
+  // Flow control credits only what the application has consumed, which can
+  // never outrun what was delivered to it.
+  LL_DCHECK(consumed_ <= delivered_)
+      << "stream " << id_ << " consumed " << consumed_ << " > delivered "
+      << delivered_;
   // Extend when half the advertised window has been consumed.
   std::uint64_t target = consumed_ + recv_window_;
   if (target > advertised_max_ &&

@@ -100,21 +100,21 @@ class QuicStream {
 
  private:
   struct RetxRange {
-    std::uint64_t offset;
-    std::size_t len;
-    bool fin;
+    std::uint64_t offset = 0;
+    std::size_t len = 0;
+    bool fin = false;
   };
 
-  StreamId id_;
+  StreamId id_ = 0;
   // Send side.
   Bytes send_buffer_;
   std::uint64_t next_send_offset_ = 0;
   bool fin_written_ = false;
   bool fin_sent_ = false;
-  std::uint64_t peer_max_offset_;
+  std::uint64_t peer_max_offset_ = 0;
   std::vector<RetxRange> retx_;
   // Receive side.
-  std::size_t recv_window_;
+  std::size_t recv_window_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t consumed_ = 0;  // app-consumed: what flow control credits
   std::uint64_t advertised_max_ = 0;

@@ -2,9 +2,15 @@
 
 #include <utility>
 
+#include "util/check.h"
+
 namespace longlook {
 
 EventId Simulator::push(TimePoint when, std::function<void()> fn) {
+  // schedule()/schedule_at() clamp to now_; anything earlier reaching the
+  // heap would fire in the past and break the non-decreasing clock.
+  LL_DCHECK(when >= now_) << "event scheduled " << (now_ - when).count()
+                          << "ns into the past";
   auto ev = std::make_shared<Event>();
   ev->when = when;
   ev->seq = next_seq_++;
@@ -32,6 +38,7 @@ void Simulator::cancel(EventId id) {
   if (auto ev = it->second.lock()) {
     if (!ev->cancelled) {
       ev->cancelled = true;
+      LL_DCHECK(live_events_ > 0);
       --live_events_;
     }
   }
@@ -43,7 +50,16 @@ bool Simulator::step() {
     std::shared_ptr<Event> ev = queue_.top();
     queue_.pop();
     if (ev->cancelled) continue;
-    pending_.erase(ev->id);
+    // Heap-order / clock invariant: the whole testbed's repeatability rests
+    // on virtual time never going backwards.
+    LL_INVARIANT(ev->when >= now_)
+        << "event " << ev->id << " would rewind the clock from "
+        << now_.time_since_epoch().count() << "ns to "
+        << ev->when.time_since_epoch().count() << "ns";
+    const std::size_t erased = pending_.erase(ev->id);
+    LL_DCHECK(erased == 1) << "fired event " << ev->id
+                           << " missing from pending index";
+    LL_DCHECK(live_events_ > 0);
     --live_events_;
     now_ = ev->when;
     ++dispatched_;

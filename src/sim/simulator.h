@@ -49,9 +49,9 @@ class Simulator {
 
  private:
   struct Event {
-    TimePoint when;
-    std::uint64_t seq;
-    EventId id;
+    TimePoint when{};
+    std::uint64_t seq = 0;
+    EventId id = kInvalidEventId;
     std::function<void()> fn;
     bool cancelled = false;
   };

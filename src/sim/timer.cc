@@ -1,5 +1,7 @@
 #include "sim/timer.h"
 
+#include "util/check.h"
+
 namespace longlook {
 
 void Timer::set(Duration delay) { set_at(sim_.now() + delay); }
@@ -18,6 +20,11 @@ void Timer::cancel() {
 }
 
 void Timer::fire() {
+  // schedule_at clamps past deadlines to "now", so a firing timer can be
+  // late but never early.
+  LL_INVARIANT(sim_.now() >= deadline_)
+      << "timer fired " << (deadline_ - sim_.now()).count()
+      << "ns before its deadline";
   id_ = kInvalidEventId;
   on_fire_();
 }

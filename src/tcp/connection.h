@@ -154,10 +154,10 @@ class TcpConnection {
   Simulator& sim_;
   Host& host_;
   TcpConfig config_;
-  Address peer_;
-  Port peer_port_;
-  Port local_port_;
-  bool is_client_;
+  Address peer_ = 0;
+  Port peer_port_ = 0;
+  Port local_port_ = 0;
+  bool is_client_ = false;
   State state_ = State::kClosed;
 
   RttEstimator rtt_;

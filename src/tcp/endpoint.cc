@@ -1,20 +1,14 @@
 #include "tcp/endpoint.h"
 
-#include <atomic>
-
 #include "util/logging.h"
 
 namespace longlook::tcp {
-namespace {
-Port next_ephemeral_port() {
-  static std::atomic<Port> next{40000};
-  return next++;
-}
-}  // namespace
 
 TcpClient::TcpClient(Simulator& sim, Host& host, Address server,
                      Port server_port, TcpConfig config)
-    : sim_(sim), host_(host), local_port_(next_ephemeral_port()) {
+    : sim_(sim),
+      host_(host),
+      local_port_(host.allocate_ephemeral_port(IpProto::kTcp)) {
   connection_ = std::make_unique<TcpConnection>(
       sim, host, config, server, server_port, local_port_, /*is_client=*/true);
   host_.bind(IpProto::kTcp, local_port_, this);

@@ -33,7 +33,7 @@ class TcpClient : public PacketSink {
  private:
   Simulator& sim_;
   Host& host_;
-  Port local_port_;
+  Port local_port_ = 0;
   std::unique_ptr<TcpConnection> connection_;
 };
 
@@ -66,7 +66,7 @@ class TcpServer : public PacketSink {
 
   Simulator& sim_;
   Host& host_;
-  Port port_;
+  Port port_ = 0;
   TcpConfig config_;
   AcceptHandler accept_handler_;
   std::map<ConnKey, std::unique_ptr<TcpConnection>> connections_;

@@ -1,0 +1,59 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace longlook {
+namespace {
+
+void default_handler(const CheckFailure& failure) {
+  std::fprintf(stderr, "%s\n", failure.to_string().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Atomics so the TSan matrix stays clean if checks ever fire off the main
+// thread; the simulator itself is single-threaded.
+std::atomic<CheckFailHandler> g_handler{&default_handler};
+std::atomic<std::uint64_t> g_failures{0};
+
+}  // namespace
+
+std::string CheckFailure::to_string() const {
+  std::ostringstream os;
+  os << file << ":" << line << " " << kind << " failed in " << function
+     << ": (" << condition << ")";
+  if (!message.empty()) os << " " << message;
+  return os.str();
+}
+
+CheckFailHandler set_check_fail_handler(CheckFailHandler handler) {
+  if (handler == nullptr) handler = &default_handler;
+  return g_handler.exchange(handler);
+}
+
+std::uint64_t check_failure_count() {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+CheckFailStream::CheckFailStream(const char* file, int line,
+                                 const char* function, const char* condition,
+                                 const char* kind) {
+  failure_.file = file;
+  failure_.line = line;
+  failure_.function = function;
+  failure_.condition = condition;
+  failure_.kind = kind;
+}
+
+CheckFailStream::~CheckFailStream() {
+  failure_.message = os_.str();
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+  g_handler.load()(failure_);
+}
+
+}  // namespace detail
+}  // namespace longlook

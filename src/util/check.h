@@ -1,0 +1,109 @@
+// Protocol-invariant CHECK framework.
+//
+// The paper's conclusions rest on state machines behaving exactly as
+// specified (Sec. 5); related work (Piraux et al., Rasool et al.) found
+// real QUIC stacks silently violating their own state machines. These
+// macros make such violations loud:
+//
+//   LL_CHECK(cond)     — always-on assertion; streams a message:
+//                          LL_CHECK(a <= b) << "a=" << a << " b=" << b;
+//   LL_DCHECK(cond)    — debug-only (compiled out under NDEBUG unless
+//                        LL_FORCE_DCHECKS is defined); the condition is
+//                        never evaluated when disabled.
+//   LL_INVARIANT(cond) — always-on, tagged as a protocol invariant in the
+//                        failure record; use for transport/state-machine
+//                        properties rather than argument validation.
+//
+// On failure the installed CheckFailHandler runs with full source location
+// and the streamed message. The default handler prints and aborts; tests
+// install a recording handler (see ScopedCheckFailHandler) to assert on
+// violations without dying. If a custom handler returns, execution
+// continues past the failed check.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace longlook {
+
+struct CheckFailure {
+  const char* file = "";
+  int line = 0;
+  const char* function = "";
+  const char* condition = "";
+  const char* kind = "";  // "CHECK", "DCHECK", or "INVARIANT"
+  std::string message;    // streamed by the failing call site (may be empty)
+
+  // "file:line kind failed: (condition) message" — what the default
+  // handler prints and what tests match against.
+  std::string to_string() const;
+};
+
+using CheckFailHandler = void (*)(const CheckFailure&);
+
+// Installs a new failure handler, returning the previous one. Passing
+// nullptr restores the default (print + abort).
+CheckFailHandler set_check_fail_handler(CheckFailHandler handler);
+
+// Total failed checks since process start (any handler). Lets tests assert
+// that a code path fired — or didn't fire — an invariant.
+std::uint64_t check_failure_count();
+
+// RAII handler swap for tests.
+class ScopedCheckFailHandler {
+ public:
+  explicit ScopedCheckFailHandler(CheckFailHandler handler)
+      : previous_(set_check_fail_handler(handler)) {}
+  ~ScopedCheckFailHandler() { set_check_fail_handler(previous_); }
+  ScopedCheckFailHandler(const ScopedCheckFailHandler&) = delete;
+  ScopedCheckFailHandler& operator=(const ScopedCheckFailHandler&) = delete;
+
+ private:
+  CheckFailHandler previous_;
+};
+
+namespace detail {
+
+// Accumulates the streamed message; fires the handler from its destructor
+// at the end of the full expression.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* function,
+                  const char* condition, const char* kind);
+  ~CheckFailStream();
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  std::ostringstream os_;
+  CheckFailure failure_;
+};
+
+// Swallows the ostream& so both ternary branches have type void.
+struct CheckVoidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace detail
+
+#define LL_CHECK_IMPL_(cond, kind)                                      \
+  (cond) ? (void)0                                                      \
+         : ::longlook::detail::CheckVoidify() &                         \
+               ::longlook::detail::CheckFailStream(__FILE__, __LINE__,  \
+                                                   __func__, #cond, kind) \
+                   .stream()
+
+#define LL_CHECK(cond) LL_CHECK_IMPL_(cond, "CHECK")
+#define LL_INVARIANT(cond) LL_CHECK_IMPL_(cond, "INVARIANT")
+
+#if defined(NDEBUG) && !defined(LL_FORCE_DCHECKS)
+// Disabled: the condition still type-checks but is never evaluated.
+#define LL_DCHECK(cond) LL_CHECK_IMPL_(true || (cond), "DCHECK")
+#else
+#define LL_DCHECK(cond) LL_CHECK_IMPL_(cond, "DCHECK")
+#endif
+
+}  // namespace longlook

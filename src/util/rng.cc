@@ -48,7 +48,7 @@ std::uint64_t Rng::uniform_int(std::uint64_t n) {
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
                               std::numeric_limits<std::uint64_t>::max() % n;
-  std::uint64_t v;
+  std::uint64_t v = 0;
   do {
     v = next();
   } while (v >= limit);
@@ -63,7 +63,7 @@ bool Rng::bernoulli(double p) {
 
 double Rng::normal(double mean, double stddev) {
   // Box–Muller; draw until u1 is nonzero to keep log() finite.
-  double u1;
+  double u1 = 0;
   do {
     u1 = uniform();
   } while (u1 <= 0.0);
@@ -74,7 +74,7 @@ double Rng::normal(double mean, double stddev) {
 }
 
 double Rng::exponential(double mean) {
-  double u;
+  double u = 0;
   do {
     u = uniform();
   } while (u <= 0.0);

@@ -41,7 +41,7 @@ class Rng {
   Rng fork();
 
  private:
-  std::uint64_t s_[4];
+  std::uint64_t s_[4] = {};
 };
 
 }  // namespace longlook

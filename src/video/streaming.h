@@ -21,7 +21,7 @@ namespace longlook::video {
 
 struct VideoQuality {
   std::string name;
-  std::int64_t bitrate_bps;
+  std::int64_t bitrate_bps = 0;
 };
 
 // The paper's four tested tiers (Table 2/6). Bitrates follow typical

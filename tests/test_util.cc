@@ -1,10 +1,13 @@
 // Unit tests: byte codecs (varint, integers), RNG determinism and
-// distributions, and simulated-time helpers.
+// distributions, simulated-time helpers, and the LL_CHECK/LL_DCHECK/
+// LL_INVARIANT protocol-invariant framework.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "util/bytes.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -171,6 +174,131 @@ TEST(Time, TransmissionDelay) {
   EXPECT_EQ(transmission_delay(1250, 10'000'000), milliseconds(1));
   // 1500 bytes at 1 Gbps = 12 us.
   EXPECT_EQ(transmission_delay(1500, 1'000'000'000), microseconds(12));
+}
+
+// --- LL_CHECK / LL_DCHECK / LL_INVARIANT ---
+
+CheckFailure g_last_failure;
+int g_handler_calls = 0;
+
+void recording_handler(const CheckFailure& f) {
+  g_last_failure = f;
+  ++g_handler_calls;
+}
+
+TEST(Check, PassingCheckDoesNotInvokeHandler) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  const int calls_before = g_handler_calls;
+  const std::uint64_t count_before = check_failure_count();
+  LL_CHECK(1 + 1 == 2) << "never formatted";
+  LL_INVARIANT(true);
+  EXPECT_EQ(g_handler_calls, calls_before);
+  EXPECT_EQ(check_failure_count(), count_before);
+}
+
+TEST(Check, FailureCarriesLocationConditionAndMessage) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  const int calls_before = g_handler_calls;
+  const int value = 42;
+  LL_CHECK(value == 0) << "value=" << value << " hex=" << std::hex << value;
+  const int expected_line = __LINE__ - 1;
+  ASSERT_EQ(g_handler_calls, calls_before + 1);
+  EXPECT_NE(std::string(g_last_failure.file).find("test_util.cc"),
+            std::string::npos);
+  EXPECT_EQ(g_last_failure.line, expected_line);
+  EXPECT_STREQ(g_last_failure.condition, "value == 0");
+  EXPECT_STREQ(g_last_failure.kind, "CHECK");
+  EXPECT_EQ(g_last_failure.message, "value=42 hex=2a");
+  EXPECT_NE(std::string(g_last_failure.function).find("TestBody"),
+            std::string::npos);
+}
+
+TEST(Check, InvariantIsTaggedAsInvariant) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  LL_INVARIANT(false) << "protocol property violated";
+  EXPECT_STREQ(g_last_failure.kind, "INVARIANT");
+  EXPECT_EQ(g_last_failure.message, "protocol property violated");
+}
+
+TEST(Check, MessageIsOptional) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  LL_CHECK(false);
+  EXPECT_EQ(g_last_failure.message, "");
+  EXPECT_STREQ(g_last_failure.condition, "false");
+}
+
+TEST(Check, ToStringFormatsAllFields) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  LL_INVARIANT(2 < 1) << "ordering broke";
+  const std::string s = g_last_failure.to_string();
+  EXPECT_NE(s.find("test_util.cc"), std::string::npos);
+  EXPECT_NE(s.find("INVARIANT failed"), std::string::npos);
+  EXPECT_NE(s.find("(2 < 1)"), std::string::npos);
+  EXPECT_NE(s.find("ordering broke"), std::string::npos);
+}
+
+TEST(Check, FailureCountAccumulatesAcrossHandlers) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  const std::uint64_t before = check_failure_count();
+  LL_CHECK(false) << "one";
+  LL_INVARIANT(false) << "two";
+  EXPECT_EQ(check_failure_count(), before + 2);
+}
+
+TEST(Check, SetHandlerReturnsPreviousAndScopedRestores) {
+  CheckFailHandler original = set_check_fail_handler(&recording_handler);
+  {
+    ScopedCheckFailHandler scoped(original);
+    // Inside the scope the original handler is active again; swapping in
+    // the recorder must hand back the original.
+    CheckFailHandler prev = set_check_fail_handler(&recording_handler);
+    EXPECT_EQ(prev, original);
+  }
+  // Scope exit restored the recorder; putting the original back returns it.
+  CheckFailHandler prev = set_check_fail_handler(original);
+  EXPECT_EQ(prev, &recording_handler);
+}
+
+TEST(Check, ExecutionContinuesWhenHandlerReturns) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  bool reached = false;
+  LL_CHECK(false) << "non-fatal under a returning handler";
+  reached = true;
+  EXPECT_TRUE(reached);
+}
+
+#if defined(NDEBUG) && !defined(LL_FORCE_DCHECKS)
+TEST(Check, DisabledDcheckDoesNotEvaluateCondition) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  const int calls_before = g_handler_calls;
+  int evaluations = 0;
+  LL_DCHECK(++evaluations > 0) << "side effect";
+  LL_DCHECK(false) << "never reported";
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(g_handler_calls, calls_before);
+}
+#else
+TEST(Check, EnabledDcheckReportsAsDcheck) {
+  ScopedCheckFailHandler scoped(&recording_handler);
+  int evaluations = 0;
+  LL_DCHECK(++evaluations > 0) << "passes";
+  LL_DCHECK(false) << "fires";
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_STREQ(g_last_failure.kind, "DCHECK");
+  EXPECT_EQ(g_last_failure.message, "fires");
+}
+#endif
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, DefaultHandlerAborts) {
+  EXPECT_DEATH(LL_CHECK(1 == 2) << "fatal by default",
+               "CHECK failed.*\\(1 == 2\\).*fatal by default");
+}
+
+TEST(CheckDeathTest, InvariantAbortsWithLocation) {
+  EXPECT_DEATH(LL_INVARIANT(false) << "state machine broke",
+               "test_util.cc.*INVARIANT failed.*state machine broke");
 }
 
 }  // namespace

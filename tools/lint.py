@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Determinism lint for the longlook source tree.
+
+The testbed's whole methodology (paired same-seed QUIC/TCP rounds, Welch's
+t-test, state-machine inference) assumes bit-for-bit repeatable runs. This
+lint bans the hazards that silently break that property:
+
+  wall-clock            any real-time source; virtual time comes from
+                        Simulator::now() only.
+  raw-rand              rand()/random()/std::random_device/std::mt19937;
+                        all randomness must flow through util/Rng, seeded
+                        from the scenario.
+  unordered-iteration   ranged-for over a std::unordered_* container:
+                        iteration order is implementation-defined, so any
+                        trace/report output fed from it is nondeterministic.
+  unordered-in-report   any std::unordered_* use inside the output-producing
+                        layers (harness, trace, stats, smi), where ordering
+                        always ends up user-visible.
+  uninitialized-pod     POD member/variable declarations with no
+                        initializer; reads before first write are UB and
+                        run-to-run dependent.
+
+False positives go in tools/lint_allowlist.txt as
+    <rule> <path-substring> [<line-content-substring>]
+one entry per line; '#' starts a comment.
+
+Usage: lint.py <dir-or-file>...   (exit 0 clean, 1 findings, 2 bad usage)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Path fragments whose files produce ordered, user-visible output (reports,
+# traces, inferred state machines): unordered containers are banned outright
+# there, not just their iteration.
+ORDER_SENSITIVE_PATHS = ("harness/", "net/trace", "stats/", "smi/")
+
+POD_TYPES = (
+    r"(?:bool|char|short|int|long|float|double|unsigned(?:\s+(?:char|short|int|long))?"
+    r"|std::size_t|std::ptrdiff_t|std::u?int(?:8|16|32|64)_t"
+    r"|Duration|TimePoint|PacketNumber|EventId|StreamId|Port|Address)"
+)
+
+LINE_RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b"
+            r"|\bgettimeofday\b|\bclock_gettime\b|\bstd::time\b"
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|\blocaltime\b|\bgmtime\b"
+        ),
+        "wall-clock time source (virtual time comes from Simulator::now())",
+    ),
+    (
+        "raw-rand",
+        re.compile(
+            r"\b(?:std::)?srand\s*\(|\b(?:std::)?rand\s*\(\s*\)"
+            r"|\bdrand48\b|\brandom\s*\(\s*\)|\bstd::random_device\b"
+            r"|\bstd::mt19937|\bstd::default_random_engine\b"
+        ),
+        "nondeterministic RNG (use util/Rng seeded from the scenario)",
+    ),
+    (
+        "unordered-iteration",
+        re.compile(r"for\s*\([^;)]*:[^)]*unordered"),
+        "iterating an unordered container (order is implementation-defined)",
+    ),
+]
+
+POD_DECL = re.compile(
+    r"^\s*(?:static\s+)?(?:mutable\s+)?" + POD_TYPES +
+    r"\s+\w+(?:\s*\[\w*\])?\s*;\s*$"
+)
+
+
+def load_allowlist(repo_root: Path):
+    entries = []
+    path = repo_root / "tools" / "lint_allowlist.txt"
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        rule = parts[0]
+        path_sub = parts[1] if len(parts) > 1 else ""
+        content_sub = parts[2] if len(parts) > 2 else ""
+        entries.append((rule, path_sub, content_sub))
+    return entries
+
+
+def allowed(entries, rule, path, line):
+    for e_rule, e_path, e_content in entries:
+        if e_rule != rule:
+            continue
+        if e_path and e_path not in path:
+            continue
+        if e_content and e_content not in line:
+            continue
+        return True
+    return False
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments, preserving line structure."""
+    out = []
+    i = 0
+    n = len(text)
+    in_block = False
+    while i < n:
+        c = text[i]
+        if in_block:
+            if text.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+            continue
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, rel: str, entries, findings):
+    text = strip_comments(path.read_text())
+    order_sensitive = any(frag in rel for frag in ORDER_SENSITIVE_PATHS)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for rule, pattern, message in LINE_RULES:
+            if pattern.search(line) and not allowed(entries, rule, rel, line):
+                findings.append((rel, lineno, rule, message, line.strip()))
+        if order_sensitive and "std::unordered_" in line:
+            rule = "unordered-in-report"
+            if not allowed(entries, rule, rel, line):
+                findings.append((
+                    rel, lineno, rule,
+                    "unordered container in an output-producing layer",
+                    line.strip(),
+                ))
+        if POD_DECL.match(line):
+            rule = "uninitialized-pod"
+            if not allowed(entries, rule, rel, line):
+                findings.append((
+                    rel, lineno, rule,
+                    "POD declaration without an initializer",
+                    line.strip(),
+                ))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    files = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"lint.py: no such path: {arg}", file=sys.stderr)
+            return 2
+    entries = load_allowlist(repo_root)
+    findings = []
+    for f in sorted(set(files)):
+        try:
+            rel = str(f.resolve().relative_to(repo_root))
+        except ValueError:
+            rel = str(f)
+        lint_file(f, rel, entries, findings)
+    for rel, lineno, rule, message, line in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}: {line}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
