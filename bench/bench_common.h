@@ -2,7 +2,9 @@
 //
 // Every bench regenerates one table or figure from the paper and prints the
 // same rows/series the paper reports. Rounds default to the paper's >=10 but
-// can be reduced for quick runs via LL_BENCH_ROUNDS.
+// can be reduced for quick runs via LL_BENCH_ROUNDS. Sweeps run on a
+// SweepRunner worker pool (LL_JOBS workers, default: all cores) with output
+// byte-identical to a serial run — see README "Parallel sweeps".
 #pragma once
 
 #include <cstdio>
@@ -14,6 +16,7 @@
 #include "harness/compare.h"
 #include "harness/fairness.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 #include "harness/testbed.h"
 
 namespace longlook::bench {
@@ -47,31 +50,42 @@ inline std::string size_label(std::size_t bytes) {
   return std::to_string(bytes / 1024) + "KB";
 }
 
-// Runs a full QUIC-vs-TCP heatmap: rows = rates, cols = workloads.
+// Runs a full QUIC-vs-TCP heatmap: rows = rates, cols = workloads. Every
+// (rate, workload, round) simulation is an independent SweepRunner job;
+// cells are committed in submission order, so the rendered heatmap is
+// byte-identical at any LL_JOBS.
 inline void run_heatmap(
     const std::string& title, const std::vector<std::int64_t>& rates,
     const std::vector<std::pair<std::string, harness::Workload>>& cols,
     const std::function<harness::Scenario(std::int64_t)>& make_scenario,
     const harness::CompareOptions& base_opts) {
   std::vector<std::string> col_labels;
-  for (const auto& [label, w] : cols) col_labels.push_back(label);
+  std::vector<harness::Workload> workloads;
+  for (const auto& [label, w] : cols) {
+    col_labels.push_back(label);
+    workloads.push_back(w);
+  }
   std::vector<std::string> row_labels;
-  std::vector<std::vector<harness::HeatmapCell>> cells;
+  std::vector<harness::Scenario> row_scenarios;
   for (std::int64_t rate : rates) {
     row_labels.push_back(rate_label(rate));
-    std::vector<harness::HeatmapCell> row;
-    for (const auto& [label, workload] : cols) {
-      harness::Scenario s = make_scenario(rate);
-      harness::CompareOptions opts = base_opts;
-      opts.rounds = rounds();
-      row.push_back(
-          harness::to_heatmap_cell(harness::compare_plt(s, workload, opts)));
-      std::fputc('.', stderr);
-      std::fflush(stderr);
-    }
-    cells.push_back(std::move(row));
+    row_scenarios.push_back(make_scenario(rate));
   }
-  std::fputc('\n', stderr);
+  harness::CompareOptions opts = base_opts;
+  opts.rounds = rounds();
+
+  harness::SweepRunner runner;
+  harness::ProgressReporter progress(stderr);
+  const auto grid = harness::run_plt_grid(runner, row_scenarios, workloads,
+                                          opts, &progress);
+  progress.finish();
+
+  std::vector<std::vector<harness::HeatmapCell>> cells;
+  for (const auto& row : grid) {
+    std::vector<harness::HeatmapCell> out_row;
+    for (const auto& cell : row) out_row.push_back(harness::to_heatmap_cell(cell));
+    cells.push_back(std::move(out_row));
+  }
   harness::print_heatmap(std::cout, title, col_labels, row_labels, cells);
 }
 

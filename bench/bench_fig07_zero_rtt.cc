@@ -23,27 +23,39 @@ int main() {
   std::vector<std::string> col_labels;
   for (const auto& [l, w] : cols) col_labels.push_back(l);
   std::vector<std::string> row_labels;
-  std::vector<std::vector<HeatmapCell>> cells;
-
-  for (std::int64_t rate : longlook::bench::paper_rates_bps()) {
+  const auto rates = longlook::bench::paper_rates_bps();
+  for (std::int64_t rate : rates) {
     row_labels.push_back(longlook::bench::rate_label(rate));
-    std::vector<HeatmapCell> row;
-    for (const auto& [label, workload] : cols) {
+  }
+
+  // One cell per (rate, workload); every paired round is a pool job.
+  SweepRunner runner;
+  ProgressReporter progress(stderr);
+  std::vector<std::vector<CellResult>> grid(
+      rates.size(), std::vector<CellResult>(cols.size()));
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
       Scenario s;
-      s.rate_bps = rate;
+      s.rate_bps = rates[r];
       CompareOptions with_0rtt;  // warm token cache: 0-RTT
       with_0rtt.rounds = longlook::bench::rounds();
       CompareOptions without;
       without.rounds = with_0rtt.rounds;
       without.quic.enable_zero_rtt = false;
       without.warm_zero_rtt = false;
-      row.push_back(to_heatmap_cell(
-          compare_quic_pair(s, workload, with_0rtt, without)));
-      std::fputc('.', stderr);
+      compare_quic_pair_async(runner, s, cols[c].second, with_0rtt, without,
+                              &grid[r][c], &progress);
     }
+  }
+  runner.wait_all();
+  progress.finish();
+
+  std::vector<std::vector<HeatmapCell>> cells;
+  for (const auto& grid_row : grid) {
+    std::vector<HeatmapCell> row;
+    for (const auto& cell : grid_row) row.push_back(to_heatmap_cell(cell));
     cells.push_back(std::move(row));
   }
-  std::fputc('\n', stderr);
   print_heatmap(std::cout,
                 "Fig. 7: %% PLT gain of 0-RTT over 1-RTT establishment",
                 col_labels, row_labels, cells);

@@ -27,13 +27,19 @@ int main() {
     std::vector<std::string> col_labels;
     for (const auto& [l, w] : cols) col_labels.push_back(l);
     std::vector<std::string> row_labels;
-    std::vector<std::vector<HeatmapCell>> cells;
-    for (std::int64_t rate : longlook::bench::paper_rates_bps()) {
+    const auto rates = longlook::bench::paper_rates_bps();
+    for (std::int64_t rate : rates) {
       row_labels.push_back(longlook::bench::rate_label(rate));
-      std::vector<HeatmapCell> row;
-      for (const auto& [label, workload] : cols) {
+    }
+
+    SweepRunner runner;
+    ProgressReporter progress(stderr);
+    std::vector<std::vector<CellResult>> grid(
+        rates.size(), std::vector<CellResult>(cols.size()));
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      for (std::size_t c = 0; c < cols.size(); ++c) {
         Scenario s;
-        s.rate_bps = rate;
+        s.rate_bps = rates[r];
         s.loss_rate = loss;
         CompareOptions direct;
         direct.rounds = longlook::bench::rounds();
@@ -47,13 +53,19 @@ int main() {
         };
         // "QUIC role" = direct, "baseline role" = proxied: positive cells
         // mean direct is faster, matching the figure's orientation.
-        row.push_back(to_heatmap_cell(
-            compare_quic_pair(s, workload, direct, proxied)));
-        std::fputc('.', stderr);
+        compare_quic_pair_async(runner, s, cols[c].second, direct, proxied,
+                                &grid[r][c], &progress);
       }
+    }
+    runner.wait_all();
+    progress.finish();
+
+    std::vector<std::vector<HeatmapCell>> cells;
+    for (const auto& grid_row : grid) {
+      std::vector<HeatmapCell> row;
+      for (const auto& cell : grid_row) row.push_back(to_heatmap_cell(cell));
       cells.push_back(std::move(row));
     }
-    std::fputc('\n', stderr);
     char title[96];
     std::snprintf(title, sizeof title,
                   "Fig. 18 (loss=%.1f%%): direct QUIC vs proxied QUIC "

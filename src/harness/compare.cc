@@ -70,58 +70,161 @@ CellResult finish_cell(std::vector<double> quic, std::vector<double> tcp,
 
 }  // namespace
 
+namespace {
+
+// Per-cell scratch shared between a cell's jobs. Round jobs write disjoint
+// slots; the warm job runs strictly before every round (job-graph edge), so
+// each round reads a settled post-warm token cache and copies it — rounds
+// never share mutable state, which is what makes the fold independent of
+// the worker count.
+struct CellScratch {
+  quic::TokenCache tokens_a;
+  quic::TokenCache tokens_b;
+  std::vector<std::optional<double>> a_plts;
+  std::vector<std::optional<double>> b_plts;
+};
+
+// Folds per-round slots into the CellResult in round order.
+void commit_cell(const CellScratch& scratch, CellResult* out,
+                 ProgressReporter* progress) {
+  std::vector<double> a;
+  std::vector<double> b;
+  bool all_complete = true;
+  for (const auto& plt : scratch.a_plts) {
+    if (plt) a.push_back(*plt); else all_complete = false;
+  }
+  for (const auto& plt : scratch.b_plts) {
+    if (plt) b.push_back(*plt); else all_complete = false;
+  }
+  *out = finish_cell(std::move(a), std::move(b), all_complete);
+  if (progress != nullptr) progress->tick();
+}
+
+Scenario round_scenario(const Scenario& scenario, int r) {
+  Scenario round = scenario;
+  round.seed = scenario.seed + static_cast<std::uint64_t>(r) * 1000003;
+  return round;
+}
+
+}  // namespace
+
+SweepRunner::Ticket compare_plt_async(SweepRunner& runner,
+                                      const Scenario& scenario,
+                                      const Workload& workload,
+                                      const CompareOptions& opts,
+                                      CellResult* out,
+                                      ProgressReporter* progress) {
+  auto scratch = std::make_shared<CellScratch>();
+  scratch->a_plts.resize(static_cast<std::size_t>(opts.rounds));
+  scratch->b_plts.resize(static_cast<std::size_t>(opts.rounds));
+
+  const SweepRunner::Ticket warm = runner.submit([scratch, scenario, opts] {
+    if (!opts.warm_zero_rtt) return;
+    Scenario w = scenario;
+    w.seed = scenario.seed + 7919;
+    (void)run_quic_page_load(w, {1, 1024}, opts, scratch->tokens_a);
+  });
+
+  std::vector<SweepRunner::Ticket> rounds;
+  rounds.reserve(static_cast<std::size_t>(opts.rounds));
+  for (int r = 0; r < opts.rounds; ++r) {
+    rounds.push_back(runner.submit(
+        [scratch, scenario, workload, opts, r] {
+          const Scenario round = round_scenario(scenario, r);
+          // Back-to-back: QUIC then TCP with identical network randomness.
+          quic::TokenCache tokens = scratch->tokens_a;
+          const std::size_t slot = static_cast<std::size_t>(r);
+          scratch->a_plts[slot] =
+              run_quic_page_load(round, workload, opts, tokens);
+          scratch->b_plts[slot] = run_tcp_page_load(round, workload, opts);
+        },
+        {warm}));
+  }
+  return runner.submit([scratch, out, progress] {
+    commit_cell(*scratch, out, progress);
+  }, rounds);
+}
+
+SweepRunner::Ticket compare_quic_pair_async(SweepRunner& runner,
+                                            const Scenario& scenario,
+                                            const Workload& workload,
+                                            const CompareOptions& a_opts,
+                                            const CompareOptions& b_opts,
+                                            CellResult* out,
+                                            ProgressReporter* progress) {
+  auto scratch = std::make_shared<CellScratch>();
+  scratch->a_plts.resize(static_cast<std::size_t>(a_opts.rounds));
+  scratch->b_plts.resize(static_cast<std::size_t>(a_opts.rounds));
+
+  const SweepRunner::Ticket warm =
+      runner.submit([scratch, scenario, a_opts, b_opts] {
+        if (a_opts.warm_zero_rtt) {
+          Scenario w = scenario;
+          w.seed = scenario.seed + 7919;
+          (void)run_quic_page_load(w, {1, 1024}, a_opts, scratch->tokens_a);
+        }
+        if (b_opts.warm_zero_rtt) {
+          Scenario w = scenario;
+          w.seed = scenario.seed + 104729;
+          (void)run_quic_page_load(w, {1, 1024}, b_opts, scratch->tokens_b);
+        }
+      });
+
+  std::vector<SweepRunner::Ticket> rounds;
+  rounds.reserve(static_cast<std::size_t>(a_opts.rounds));
+  for (int r = 0; r < a_opts.rounds; ++r) {
+    rounds.push_back(runner.submit(
+        [scratch, scenario, workload, a_opts, b_opts, r] {
+          const Scenario round = round_scenario(scenario, r);
+          quic::TokenCache tokens_a = scratch->tokens_a;
+          quic::TokenCache tokens_b = scratch->tokens_b;
+          const std::size_t slot = static_cast<std::size_t>(r);
+          scratch->a_plts[slot] =
+              run_quic_page_load(round, workload, a_opts, tokens_a);
+          scratch->b_plts[slot] =
+              run_quic_page_load(round, workload, b_opts, tokens_b);
+        },
+        {warm}));
+  }
+  // Convention: "a" plays the QUIC role, "b" the baseline role.
+  return runner.submit([scratch, out, progress] {
+    commit_cell(*scratch, out, progress);
+  }, rounds);
+}
+
+std::vector<std::vector<CellResult>> run_plt_grid(
+    SweepRunner& runner, const std::vector<Scenario>& rows,
+    const std::vector<Workload>& cols, const CompareOptions& opts,
+    ProgressReporter* progress) {
+  std::vector<std::vector<CellResult>> grid(rows.size(),
+                                            std::vector<CellResult>(cols.size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      compare_plt_async(runner, rows[r], cols[c], opts, &grid[r][c], progress);
+    }
+  }
+  runner.wait_all();
+  return grid;
+}
+
 CellResult compare_plt(const Scenario& scenario, const Workload& workload,
                        const CompareOptions& opts) {
-  quic::TokenCache tokens;
-  if (opts.warm_zero_rtt) {
-    Scenario warm = scenario;
-    warm.seed = scenario.seed + 7919;
-    (void)run_quic_page_load(warm, {1, 1024}, opts, tokens);
-  }
-  std::vector<double> quic_plts;
-  std::vector<double> tcp_plts;
-  bool all_complete = true;
-  for (int r = 0; r < opts.rounds; ++r) {
-    Scenario round = scenario;
-    round.seed = scenario.seed + static_cast<std::uint64_t>(r) * 1000003;
-    // Back-to-back: QUIC then TCP with identical network randomness.
-    const auto q = run_quic_page_load(round, workload, opts, tokens);
-    const auto t = run_tcp_page_load(round, workload, opts);
-    if (q) quic_plts.push_back(*q); else all_complete = false;
-    if (t) tcp_plts.push_back(*t); else all_complete = false;
-  }
-  return finish_cell(std::move(quic_plts), std::move(tcp_plts), all_complete);
+  SweepRunner runner;
+  CellResult out;
+  compare_plt_async(runner, scenario, workload, opts, &out);
+  runner.wait_all();
+  return out;
 }
 
 CellResult compare_quic_pair(const Scenario& scenario,
                              const Workload& workload,
                              const CompareOptions& a_opts,
                              const CompareOptions& b_opts) {
-  quic::TokenCache tokens_a;
-  quic::TokenCache tokens_b;
-  if (a_opts.warm_zero_rtt) {
-    Scenario warm = scenario;
-    warm.seed = scenario.seed + 7919;
-    (void)run_quic_page_load(warm, {1, 1024}, a_opts, tokens_a);
-  }
-  if (b_opts.warm_zero_rtt) {
-    Scenario warm = scenario;
-    warm.seed = scenario.seed + 104729;
-    (void)run_quic_page_load(warm, {1, 1024}, b_opts, tokens_b);
-  }
-  std::vector<double> a_plts;
-  std::vector<double> b_plts;
-  bool all_complete = true;
-  for (int r = 0; r < a_opts.rounds; ++r) {
-    Scenario round = scenario;
-    round.seed = scenario.seed + static_cast<std::uint64_t>(r) * 1000003;
-    const auto a = run_quic_page_load(round, workload, a_opts, tokens_a);
-    const auto b = run_quic_page_load(round, workload, b_opts, tokens_b);
-    if (a) a_plts.push_back(*a); else all_complete = false;
-    if (b) b_plts.push_back(*b); else all_complete = false;
-  }
-  // Convention: "a" plays the QUIC role, "b" the baseline role.
-  return finish_cell(std::move(a_plts), std::move(b_plts), all_complete);
+  SweepRunner runner;
+  CellResult out;
+  compare_quic_pair_async(runner, scenario, workload, a_opts, b_opts, &out);
+  runner.wait_all();
+  return out;
 }
 
 }  // namespace longlook::harness

@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 
+#include "harness/runner.h"
 #include "harness/testbed.h"
 #include "http/h2_session.h"
 #include "http/quic_session.h"
@@ -69,5 +70,39 @@ CellResult compare_plt(const Scenario& scenario, const Workload& workload,
 CellResult compare_quic_pair(const Scenario& scenario, const Workload& workload,
                              const CompareOptions& a_opts,
                              const CompareOptions& b_opts);
+
+// --- Parallel sweeps (SweepRunner) ---------------------------------------
+//
+// The async variants enqueue one job per paired round onto `runner` plus an
+// explicit job-graph edge for the 0-RTT warm fetch: the warm job fills a
+// token cache, and every measured round starts from its own copy of the
+// post-warm cache, so rounds are independent and the folded CellResult is
+// byte-identical for any worker count (LL_JOBS=1 included). A commit job,
+// gated on all of the cell's rounds, folds the per-round PLTs in round
+// order into *out and ticks `progress` (may be nullptr). `out` and
+// `progress` must outlive runner.wait_all(). The returned ticket is the
+// commit job, usable as a dependency for downstream work.
+SweepRunner::Ticket compare_plt_async(SweepRunner& runner,
+                                      const Scenario& scenario,
+                                      const Workload& workload,
+                                      const CompareOptions& opts,
+                                      CellResult* out,
+                                      ProgressReporter* progress = nullptr);
+SweepRunner::Ticket compare_quic_pair_async(SweepRunner& runner,
+                                            const Scenario& scenario,
+                                            const Workload& workload,
+                                            const CompareOptions& a_opts,
+                                            const CompareOptions& b_opts,
+                                            CellResult* out,
+                                            ProgressReporter* progress =
+                                                nullptr);
+
+// Runs a whole QUIC-vs-TCP grid (rows = scenarios, cols = workloads) on
+// `runner`: every (row, col, round) is an independent job, results land in
+// row-major submission order. This is what the bench heatmaps are built on.
+std::vector<std::vector<CellResult>> run_plt_grid(
+    SweepRunner& runner, const std::vector<Scenario>& rows,
+    const std::vector<Workload>& cols, const CompareOptions& opts,
+    ProgressReporter* progress = nullptr);
 
 }  // namespace longlook::harness

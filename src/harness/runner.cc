@@ -1,0 +1,213 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace longlook::harness {
+
+int default_job_count() {
+  if (const char* env = std::getenv("LL_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ProgressReporter::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ticks_;
+  if (out_ != nullptr) {
+    std::fputc('.', out_);
+    std::fflush(out_);
+  }
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (out_ != nullptr) {
+    std::fputc('\n', out_);
+    std::fflush(out_);
+  }
+}
+
+std::size_t ProgressReporter::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+SweepRunner::SweepRunner(int jobs) {
+  const int n = jobs > 0 ? jobs : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Abandon everything not yet running; running jobs finish normally.
+    ready_.clear();
+    for (auto& [t, job] : jobs_) {
+      if (job.state == JobState::kBlocked || job.state == JobState::kReady) {
+        job.state = JobState::kAbandoned;
+        ++abandoned_;
+        LL_CHECK(unsettled_ > 0);
+        --unsettled_;
+      }
+    }
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+SweepRunner::Ticket SweepRunner::submit(std::function<void()> fn,
+                                        const std::vector<Ticket>& deps) {
+  Ticket t = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LL_CHECK(!stopping_) << "submit on a stopping SweepRunner";
+    t = next_ticket_++;
+    Job& job = jobs_[t];
+    job.fn = std::move(fn);
+    ++unsettled_;
+    bool dep_failed = false;
+    for (Ticket d : deps) {
+      auto it = jobs_.find(d);
+      LL_CHECK(it != jobs_.end()) << "unknown dependency ticket " << d;
+      switch (it->second.state) {
+        case JobState::kDone:
+          break;  // already satisfied
+        case JobState::kFailed:
+        case JobState::kAbandoned:
+          dep_failed = true;
+          break;
+        default:
+          it->second.dependents.push_back(t);
+          ++job.unmet_deps;
+          break;
+      }
+    }
+    if (dep_failed) {
+      job.state = JobState::kAbandoned;
+      ++abandoned_;
+      --unsettled_;
+      done_cv_.notify_all();
+      return t;
+    }
+    if (job.unmet_deps == 0) {
+      job.state = JobState::kReady;
+      ready_.push_back(t);
+    }
+  }
+  work_cv_.notify_one();
+  return t;
+}
+
+void SweepRunner::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const Ticket t = ready_.front();
+    ready_.pop_front();
+    Job& job = jobs_.at(t);
+    LL_CHECK(job.state == JobState::kReady);
+    job.state = JobState::kRunning;
+    // Move the closure out so captured state dies with the job, not with
+    // the runner.
+    std::function<void()> fn = std::move(job.fn);
+    job.fn = nullptr;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    settle_locked(t, error ? JobState::kFailed : JobState::kDone, error);
+  }
+}
+
+void SweepRunner::settle_locked(Ticket t, JobState state,
+                                std::exception_ptr error) {
+  // Abandoning dependents can cascade; process iteratively.
+  std::deque<std::pair<Ticket, bool>> pending;  // (ticket, parent_ok)
+  pending.emplace_back(t, state == JobState::kDone);
+  bool first = true;
+  while (!pending.empty()) {
+    const auto [cur, parent_ok] = pending.front();
+    pending.pop_front();
+    Job& job = jobs_.at(cur);
+    if (first) {
+      job.state = state;
+      job.error = error;
+      if (state == JobState::kDone) ++completed_;
+      first = false;
+    } else {
+      // A dependent whose dependency failed or was abandoned.
+      if (job.state == JobState::kAbandoned) continue;
+      job.state = JobState::kAbandoned;
+      ++abandoned_;
+    }
+    LL_CHECK(unsettled_ > 0);
+    --unsettled_;
+    const bool ok = (job.state == JobState::kDone);
+    for (Ticket dep : job.dependents) {
+      Job& d = jobs_.at(dep);
+      if (d.state != JobState::kBlocked) continue;
+      if (!ok) {
+        pending.emplace_back(dep, false);
+        continue;
+      }
+      LL_CHECK(d.unmet_deps > 0);
+      if (--d.unmet_deps == 0) {
+        d.state = JobState::kReady;
+        ready_.push_back(dep);
+        work_cv_.notify_one();
+      }
+    }
+    job.dependents.clear();
+    (void)parent_ok;
+  }
+  done_cv_.notify_all();
+}
+
+void SweepRunner::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return unsettled_ == 0; });
+  for (auto& [t, job] : jobs_) {
+    if (job.state == JobState::kFailed && job.error) {
+      std::exception_ptr error = job.error;
+      job.error = nullptr;  // rethrow once
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+std::size_t SweepRunner::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+std::size_t SweepRunner::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::size_t SweepRunner::abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abandoned_;
+}
+
+}  // namespace longlook::harness

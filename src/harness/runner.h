@@ -1,0 +1,121 @@
+// SweepRunner: a fixed-size worker pool for independent simulation jobs.
+//
+// A full reproduction sweep is embarrassingly parallel across
+// (scenario, round, protocol) cells — every job owns its own Testbed and
+// Simulator, so N cores run N simulations with zero shared mutable state
+// (the paper's Secs. 3.3/5.2 methodology, batched the way the emulation
+// literature batches runs). Determinism is preserved by construction:
+//
+//   * every job derives all randomness from its scenario seed, never from
+//     scheduling order;
+//   * results are written into caller-owned slots and folded by commit
+//     jobs that run only after their dependencies, in deterministic round
+//     order — so CellResult vectors, heatmap rows, and all printed output
+//     are byte-identical to a serial run regardless of the worker count.
+//
+// The pool size comes from LL_JOBS (default: hardware concurrency); see
+// README "Parallel sweeps". tests/test_runner.cc holds the
+// parallel-equals-serial proof and the TSan leg keeps the pool honest.
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace longlook::harness {
+
+// Pool size for sweeps: LL_JOBS if set to a positive integer, otherwise
+// std::thread::hardware_concurrency(), and at least 1.
+int default_job_count();
+
+// Thread-safe progress marks replacing the raw fputc('.') stream: one mark
+// per completed cell, a newline on finish(). Marks are identical bytes, so
+// the stream is byte-identical regardless of completion order.
+class ProgressReporter {
+ public:
+  // `out` is typically stderr; pass nullptr for silence.
+  explicit ProgressReporter(std::FILE* out) : out_(out) {}
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void tick();
+  void finish();  // newline (idempotent)
+
+  std::size_t ticks() const;
+
+ private:
+  std::FILE* out_ = nullptr;
+  mutable std::mutex mu_;
+  std::size_t ticks_ = 0;
+  bool finished_ = false;
+};
+
+class SweepRunner {
+ public:
+  // Ticket 0 is never issued; valid tickets start at 1.
+  using Ticket = std::uint64_t;
+
+  explicit SweepRunner(int jobs = default_job_count());
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+  // Shutdown with pending jobs is safe: queued-but-unstarted jobs are
+  // abandoned, running jobs complete, workers join.
+  ~SweepRunner();
+
+  int jobs() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` to run on a worker once every job in `deps` has finished.
+  // Ready jobs dispatch FIFO in submission order. Returns a ticket usable
+  // as a dependency edge for later submissions (e.g. the 0-RTT token-cache
+  // warm fetch gating the measured rounds, or a commit job gated on all of
+  // a cell's rounds). If a dependency fails or is abandoned, the dependent
+  // job is abandoned too (its fn never runs).
+  Ticket submit(std::function<void()> fn, const std::vector<Ticket>& deps = {});
+
+  // Blocks until every submitted job has finished or been abandoned, then
+  // rethrows the first stored exception in submission order (if any).
+  // Tickets stay valid afterwards; more work may be submitted.
+  void wait_all();
+
+  // Counters for tests.
+  std::size_t submitted() const;
+  std::size_t completed() const;  // ran to completion without throwing
+  std::size_t abandoned() const;  // never ran: shutdown or failed dependency
+
+ private:
+  enum class JobState { kBlocked, kReady, kRunning, kDone, kFailed, kAbandoned };
+
+  struct Job {
+    std::function<void()> fn;
+    JobState state = JobState::kBlocked;
+    std::size_t unmet_deps = 0;
+    std::vector<Ticket> dependents;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  // Called with mu_ held: settle a finished/abandoned job and release or
+  // abandon its dependents.
+  void settle_locked(Ticket t, JobState state, std::exception_ptr error);
+  bool all_settled_locked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: ready job or stop
+  std::condition_variable done_cv_;  // waiters: a job settled
+  std::map<Ticket, Job> jobs_;       // ordered: wait_all scans in ticket order
+  std::deque<Ticket> ready_;         // FIFO dispatch
+  Ticket next_ticket_ = 1;
+  std::size_t unsettled_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t abandoned_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace longlook::harness

@@ -1,5 +1,7 @@
 #include "http/h2_session.h"
 
+#include "util/check.h"
+
 namespace longlook::http {
 
 Bytes H2Framer::encode_frame(std::uint64_t stream_id, BytesView data,
@@ -19,7 +21,14 @@ void H2Framer::feed(BytesView data) {
     auto id = r.varint();
     auto len = r.varint();
     auto flags = r.u8();
-    if (!id || !len || !flags || r.remaining() < *len) break;
+    if (!id || !len) break;
+    // Our writer never cuts frames above 16 KB; a length past the cap means
+    // a corrupted or desynchronised stream, and honouring it would make the
+    // parser buffer (and wait for) garbage gigabytes.
+    LL_CHECK(*len <= kMaxFrameLength)
+        << "h2 frame length " << *len << " exceeds cap " << kMaxFrameLength
+        << " (stream " << *id << "): framing desync";
+    if (!flags || r.remaining() < *len) break;
     const std::size_t header = r.position();
     BytesView payload = BytesView(buffer_).subspan(header,
                                                    static_cast<std::size_t>(*len));
@@ -52,20 +61,32 @@ H2Session::H2Session(tcp::TcpConnection& conn, bool is_client,
 }
 
 bool H2Session::can_open_stream() const {
-  std::size_t open = 0;
-  for (const auto& [id, s] : streams_) {
-    if (!s->remote_closed()) ++open;
-  }
-  return open < max_concurrent_;
+  // Session accounting is incremental (open_streams_); the O(n) recount is
+  // the consistency sweep, armed in sanitizer builds.
+  LL_DCHECK(open_streams_ == [this] {
+    std::size_t open = 0;
+    for (const auto& [id, s] : streams_) {
+      if (!s->remote_closed()) ++open;
+    }
+    return open;
+  }()) << "h2 open-stream count " << open_streams_
+       << " out of sync with stream table";
+  return open_streams_ < max_concurrent_;
 }
 
 H2Stream* H2Session::open_stream() {
   if (!can_open_stream()) return nullptr;
   const std::uint64_t id = next_stream_id_;
   next_stream_id_ += 2;
+  // Locally-allocated ids come from our own parity space and increase
+  // monotonically; a collision means the peer spoke on an id it must not
+  // originate (caught in dispatch) or the allocator went backwards.
+  LL_INVARIANT(streams_.find(id) == streams_.end())
+      << "h2 stream id " << id << " reused";
   auto stream = std::make_unique<H2Stream>(*this, id);
   H2Stream* out = stream.get();
   streams_.emplace(id, std::move(stream));
+  ++open_streams_;
   return out;
 }
 
@@ -73,10 +94,10 @@ void H2Session::write_frame(std::uint64_t stream_id, BytesView data,
                             bool fin) {
   // Large writes are cut into frames so streams interleave on the wire,
   // like h2 DATA frames (16 KB default max frame size).
-  constexpr std::size_t kMaxFrame = 16 * 1024;
   std::size_t off = 0;
   do {
-    const std::size_t n = std::min(kMaxFrame, data.size() - off);
+    const std::size_t n =
+        std::min<std::size_t>(kMaxFrameLength, data.size() - off);
     const bool last = off + n == data.size();
     Bytes frame =
         H2Framer::encode_frame(stream_id, data.subspan(off, n), fin && last);
@@ -94,11 +115,27 @@ void H2Session::on_transport_data(BytesView data, bool fin) {
 void H2Session::dispatch(std::uint64_t stream_id, BytesView data, bool fin) {
   auto it = streams_.find(stream_id);
   if (it == streams_.end()) {
+    // Peer-initiated stream: ids are partitioned by side (client odd,
+    // server even, h2-style). An unknown id in our own parity space means
+    // the peer originated a stream it must not own.
+    LL_INVARIANT((stream_id & 1) == (is_client_ ? 0u : 1u))
+        << "peer-initiated h2 stream " << stream_id << " in the "
+        << (is_client_ ? "client" : "server") << "-owned id space";
     auto stream = std::make_unique<H2Stream>(*this, stream_id);
     it = streams_.emplace(stream_id, std::move(stream)).first;
+    ++open_streams_;
     if (on_new_stream_) on_new_stream_(*it->second);
   }
-  it->second->deliver(data, fin);
+  H2Stream& stream = *it->second;
+  // Settle the accounting BEFORE delivering: deliver() fires the app's
+  // on_data callback, and apps (PageLoader) open their next queued stream
+  // from inside it — can_open_stream() must already see this slot freed.
+  if (fin && !stream.remote_closed()) {
+    LL_INVARIANT(open_streams_ > 0)
+        << "h2 stream " << stream_id << " closed with zero open streams";
+    --open_streams_;
+  }
+  stream.deliver(data, fin);
 }
 
 H2ClientSession::H2ClientSession(Simulator& sim, Host& host, Address server,

@@ -16,6 +16,11 @@
 
 namespace longlook::http {
 
+// Largest DATA frame either side ever puts on the wire (h2's default
+// SETTINGS_MAX_FRAME_SIZE). The parser treats a claimed length above this
+// as framing desync and fails an LL_CHECK rather than buffering garbage.
+constexpr std::uint64_t kMaxFrameLength = 16 * 1024;
+
 // Incremental frame parser + writer shared by both session directions.
 class H2Framer {
  public:
@@ -74,8 +79,16 @@ class H2Session {
   void write_frame(std::uint64_t stream_id, BytesView data, bool fin);
   tcp::TcpConnection& transport() { return conn_; }
 
- private:
+  // Transport ingress: hooked to the connection's data callback. Public so
+  // tests can inject crafted wire bytes without a network (the invariant
+  // death tests in tests/test_http.cc).
   void on_transport_data(BytesView data, bool fin);
+
+  // Streams open on either side and not yet remote-closed (incrementally
+  // maintained; cross-checked against the stream table by an LL_DCHECK).
+  std::size_t open_stream_count() const { return open_streams_; }
+
+ private:
   void dispatch(std::uint64_t stream_id, BytesView data, bool fin);
 
   tcp::TcpConnection& conn_;
@@ -84,6 +97,7 @@ class H2Session {
   H2Framer framer_;
   std::map<std::uint64_t, std::unique_ptr<H2Stream>> streams_;
   std::uint64_t next_stream_id_ = 0;
+  std::size_t open_streams_ = 0;
   std::function<void(H2Stream&)> on_new_stream_;
 };
 

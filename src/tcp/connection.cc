@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace longlook::tcp {
@@ -337,6 +338,27 @@ void TcpConnection::update_reordering(std::uint64_t newly_acked_start,
   }
 }
 
+void TcpConnection::check_sack_scoreboard() const {
+  // O(n) scoreboard self-check (armed in sanitizer builds): blocks are
+  // sorted, disjoint, non-empty, above the cumulative ACK point, and below
+  // the reorder-tracking high-water mark.
+  std::uint64_t prev_end = 0;
+  for (const SackBlock& b : sacked_) {
+    LL_DCHECK(b.end > b.start)
+        << "empty SACK block [" << b.start << "," << b.end << ")";
+    LL_DCHECK(b.end > snd_una_)
+        << "SACK block [" << b.start << "," << b.end << ") below snd_una="
+        << snd_una_;
+    LL_DCHECK(b.start > prev_end || prev_end == 0)
+        << "SACK blocks overlap or touch: prev_end=" << prev_end
+        << " next=[" << b.start << "," << b.end << ")";
+    LL_DCHECK(highest_sacked_ >= b.end)
+        << "highest_sacked=" << highest_sacked_ << " below block end "
+        << b.end;
+    prev_end = b.end;
+  }
+}
+
 void TcpConnection::merge_sack(const std::vector<SackBlock>& blocks,
                                bool dsack) {
   std::size_t i = 0;
@@ -357,6 +379,12 @@ void TcpConnection::merge_sack(const std::vector<SackBlock>& blocks,
   for (; i < blocks.size(); ++i) {
     const SackBlock& nb = blocks[i];
     if (nb.end <= nb.start) continue;
+    // A SACK can only cover data we actually sent: a block past snd_nxt
+    // means scoreboard corruption (or a misbehaving peer) and would poison
+    // bytes_in_flight / hole selection silently.
+    LL_INVARIANT(nb.end <= snd_nxt_)
+        << "SACK block [" << nb.start << "," << nb.end
+        << ") beyond snd_nxt=" << snd_nxt_ << " (SACKed data never sent)";
     highest_sacked_ = std::max(highest_sacked_, nb.end);
     bool merged = false;
     for (SackBlock& b : sacked_) {
@@ -384,6 +412,7 @@ void TcpConnection::merge_sack(const std::vector<SackBlock>& blocks,
     }
   }
   sacked_ = std::move(merged);
+  check_sack_scoreboard();
 }
 
 void TcpConnection::enter_recovery(TimePoint now, std::uint64_t hole_offset) {
@@ -402,6 +431,13 @@ void TcpConnection::enter_recovery(TimePoint now, std::uint64_t hole_offset) {
 
 void TcpConnection::process_ack(const TcpSegment& seg, TimePoint now) {
   peer_rwnd_ = std::max<std::uint64_t>(seg.window, config_.mss);
+
+  // Cumulative ACKs cover sent data only; an ACK past snd_nxt means the
+  // peer acknowledged bytes that never existed — sequence-space corruption
+  // the scoreboard math below would silently absorb.
+  LL_INVARIANT(seg.ack <= snd_nxt_)
+      << "ACK " << seg.ack << " beyond snd_nxt=" << snd_nxt_
+      << " (acked data never sent)";
 
   const std::uint64_t prior_una = snd_una_;
   if (seg.ack > snd_una_) {

@@ -130,6 +130,7 @@ class TcpConnection {
 
   void process_ack(const TcpSegment& seg, TimePoint now);
   void merge_sack(const std::vector<SackBlock>& blocks, bool dsack);
+  void check_sack_scoreboard() const;
   std::size_t sacked_bytes_in_flight() const;
   std::size_t bytes_in_flight() const;
   std::size_t lost_not_retransmitted_bytes() const;

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,7 +19,8 @@ LogLevel level_from_env() {
   return LogLevel::kWarn;
 }
 
-LogLevel g_level = level_from_env();
+// Atomic: SweepRunner workers read the level concurrently (TSan leg).
+std::atomic<LogLevel> g_level{level_from_env()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,8 +35,8 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {

@@ -90,5 +90,69 @@ TEST(TcpConfig, CcConfigMirrorsLinuxDefaults) {
   EXPECT_EQ(cc.mss, kTcpMss);
 }
 
+// --- Scoreboard invariants (src/tcp/connection.cc LL_INVARIANTs) ---------
+//
+// A standalone client connection with no route: outbound segments vanish,
+// and we feed crafted segments straight into on_segment() to hit the
+// sequence-space invariants that e2e traffic can never trigger.
+
+TcpConfig plain_config() {
+  TcpConfig cfg;
+  cfg.tls_enabled = false;  // established right after the SYN-ACK
+  return cfg;
+}
+
+struct LoneClient {
+  Simulator sim;
+  Host host{sim, 1, "client"};
+  TcpConnection conn;
+
+  LoneClient()
+      : conn(sim, host, plain_config(), /*peer=*/2, /*peer_port=*/443,
+             /*local_port=*/40000, /*is_client=*/true) {
+    conn.connect([] {});
+    TcpSegment syn_ack;
+    syn_ack.syn = true;
+    syn_ack.ack_flag = true;
+    syn_ack.window = 64 * 1024;
+    conn.on_segment(syn_ack, sim.now());
+  }
+};
+
+TEST(TcpInvariantDeathTest, AckBeyondSndNxtAborts) {
+  LoneClient c;
+  ASSERT_TRUE(c.conn.established());
+  TcpSegment evil;
+  evil.ack_flag = true;
+  evil.ack = 1;  // nothing was ever written: snd_nxt == 0
+  EXPECT_DEATH(c.conn.on_segment(evil, c.sim.now()),
+               "INVARIANT failed.*beyond snd_nxt=0 \\(acked data never sent\\)");
+}
+
+TEST(TcpInvariantDeathTest, SackBlockBeyondSndNxtAborts) {
+  LoneClient c;
+  ASSERT_TRUE(c.conn.established());
+  TcpSegment evil;
+  evil.ack_flag = true;
+  evil.ack = 0;
+  evil.sack = {{5000, 9000}};  // claims receipt of bytes that never existed
+  EXPECT_DEATH(c.conn.on_segment(evil, c.sim.now()),
+               "INVARIANT failed.*beyond snd_nxt=0 \\(SACKed data never sent\\)");
+}
+
+TEST(TcpInvariantDeathTest, ValidAckAndSackAreAccepted) {
+  // Control: the invariants stay quiet for in-range ACK/SACK traffic.
+  LoneClient c;
+  ASSERT_TRUE(c.conn.established());
+  c.conn.write(Bytes(8000, 0x42), false);
+  c.conn.flush();
+  TcpSegment fine;
+  fine.ack_flag = true;
+  fine.ack = 1460;
+  fine.sack = {{2920, 4380}};
+  c.conn.on_segment(fine, c.sim.now());
+  EXPECT_EQ(c.conn.stats().segments_received, 2u);  // SYN-ACK + this ACK
+}
+
 }  // namespace
 }  // namespace longlook::tcp

@@ -66,6 +66,16 @@ LINE_RULES = [
         re.compile(r"for\s*\([^;)]*:[^)]*unordered"),
         "iterating an unordered container (order is implementation-defined)",
     ),
+    (
+        # std::map/set ordered by a raw pointer key: iteration follows
+        # allocation addresses, which vary run to run (ASLR, allocator
+        # state), so anything folded out of it is nondeterministic even
+        # though the container itself is "ordered".
+        "pointer-keyed-map",
+        re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*[^<>,]*\*\s*[,>]"),
+        "pointer-keyed ordered container (iterates in allocation order, "
+        "which differs run to run)",
+    ),
 ]
 
 POD_DECL = re.compile(

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py, run as a ctest (`lint-selftest`).
+
+Guards the linter itself against regressions: every rule must still fire on
+tools/lint_fixtures/bad/ (which violates each rule at least once), and the
+idiomatic code in tools/lint_fixtures/clean/ — including rule look-alikes in
+comments and pointer-VALUED maps — must stay finding-free. A lint rule that
+silently stops matching would otherwise fail open: the tree would drift
+nondeterministic with CI green.
+
+Usage: lint_selftest.py   (exit 0 pass, 1 fail)
+"""
+
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint  # noqa: E402
+
+TOOLS = Path(__file__).resolve().parent
+BAD = TOOLS / "lint_fixtures" / "bad"
+CLEAN = TOOLS / "lint_fixtures" / "clean"
+
+# rule -> minimum number of findings the bad fixture must produce.
+EXPECTED_BAD = {
+    "wall-clock": 1,
+    "raw-rand": 2,
+    "unordered-iteration": 1,
+    "unordered-in-report": 1,  # fixture path contains "harness/"
+    "pointer-keyed-map": 2,
+    "uninitialized-pod": 2,
+}
+
+
+def run_lint(target: Path):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = lint.main(["lint.py", str(target)])
+    return code, out.getvalue()
+
+
+def main() -> int:
+    failures = []
+
+    code, output = run_lint(BAD)
+    if code != 1:
+        failures.append(f"bad fixtures: expected exit 1, got {code}")
+    counts = {rule: 0 for rule in EXPECTED_BAD}
+    for line in output.splitlines():
+        for rule in counts:
+            if f"[{rule}]" in line:
+                counts[rule] += 1
+    for rule, minimum in EXPECTED_BAD.items():
+        if counts[rule] < minimum:
+            failures.append(
+                f"bad fixtures: rule '{rule}' fired {counts[rule]} time(s), "
+                f"expected >= {minimum}"
+            )
+    total_expected = sum(EXPECTED_BAD.values())
+    total_found = sum(counts.values())
+    if total_found != total_expected:
+        failures.append(
+            f"bad fixtures: {total_found} findings across known rules, "
+            f"expected exactly {total_expected} (a rule drifted looser "
+            "or tighter — update the fixture AND this count together)"
+        )
+
+    code, output = run_lint(CLEAN)
+    if code != 0:
+        failures.append(
+            "clean fixtures: expected exit 0, got "
+            f"{code}; findings:\n{output}"
+        )
+
+    if failures:
+        print("lint_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print(f"\nbad-fixture lint output:\n{run_lint(BAD)[1]}",
+              file=sys.stderr)
+        return 1
+    print(f"lint_selftest: OK ({total_found} expected findings on bad "
+          "fixtures, clean fixtures spotless)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
