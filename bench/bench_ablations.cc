@@ -39,7 +39,8 @@ double quic_mean(const Scenario& scenario, const Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Mechanism ablations: what each QUIC feature buys (or costs)",
       "DESIGN.md section 5 / the paper's root-cause analyses");

@@ -21,6 +21,27 @@
 
 namespace longlook::bench {
 
+// Shared bench CLI: `--trace-out <dir>` (or `--trace-out=<dir>`) routes
+// structured JSON-lines traces + metrics for every run into <dir>, exactly
+// like setting LL_TRACE_OUT. The flag is implemented *as* the env var so the
+// harness picks it up without threading options through every bench.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      ::setenv("LL_TRACE_OUT", argv[++i], 1);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      ::setenv("LL_TRACE_OUT", arg.c_str() + 12, 1);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out <dir>]\n"
+                   "  (env: LL_TRACE_OUT, LL_BENCH_ROUNDS, LL_JOBS)\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
 inline int rounds() {
   if (const char* env = std::getenv("LL_BENCH_ROUNDS")) {
     const int r = std::atoi(env);
@@ -70,6 +91,11 @@ inline void run_heatmap(
   for (std::int64_t rate : rates) {
     row_labels.push_back(rate_label(rate));
     row_scenarios.push_back(make_scenario(rate));
+    // Fold the row into trace-artifact names (Scenario::name only feeds the
+    // obs layer, so this cannot perturb bench stdout).
+    if (row_scenarios.back().name == "default") {
+      row_scenarios.back().name = rate_label(rate);
+    }
   }
   harness::CompareOptions opts = base_opts;
   opts.rounds = rounds();

@@ -63,7 +63,8 @@ BarResult average(const quic::QuicConfig& config, bool gae_wait) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "QUIC server calibration: wait + download time for a 10MB image at "
       "100 Mbps",

@@ -44,7 +44,8 @@ void trace_run(smi::StateMachineInference& cubic_inf,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Automatic state-machine inference from QUIC execution traces",
       "Fig. 3a (Cubic) and Fig. 3b (BBR), Sec. 5.1");

@@ -43,7 +43,8 @@ void run_panel(const char* label, int tcp_flows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "QUIC/TCP unfairness timelines over a shared 5 Mbps bottleneck "
       "(RTT=36ms, buffer=30KB)",

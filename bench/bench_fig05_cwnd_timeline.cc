@@ -8,7 +8,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Congestion-window timelines while competing over 5 Mbps",
       "Fig. 5 (Sec. 5.1)");

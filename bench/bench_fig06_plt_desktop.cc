@@ -9,7 +9,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Desktop PLT heatmaps: rate x object size and rate x object count",
       "Fig. 6a / Fig. 6b (Sec. 5.2)");

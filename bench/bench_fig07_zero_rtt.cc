@@ -9,7 +9,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner("QUIC 0-RTT vs 1-RTT connection establishment",
                           "Fig. 7 (Sec. 5.2)");
 

@@ -8,7 +8,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "PLT heatmaps under added loss and delay",
       "Fig. 8 a-f (Sec. 5.2, 'Desktop with added delay and loss')");

@@ -8,7 +8,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Congestion window over time at 100 Mbps with 1% loss",
       "Fig. 9 (Sec. 5.2)");

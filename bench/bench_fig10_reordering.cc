@@ -19,7 +19,8 @@ Scenario reorder_scenario(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Packet reordering (112 ms RTT, 10 ms jitter), 10 MB download: "
       "NACK-threshold sweep",

@@ -26,7 +26,8 @@ std::function<std::shared_ptr<void>(Testbed&)> make_schedule(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "210 MB download under fluctuating bandwidth (50-150 Mbps, re-drawn "
       "every second)",

@@ -9,7 +9,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Mobile-device PLT heatmaps (MotoG and Nexus 6, WiFi <= 50 Mbps)",
       "Fig. 12 (Sec. 5.2, 'Mobile environment')");

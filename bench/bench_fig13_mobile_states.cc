@@ -52,7 +52,8 @@ void report(const char* name, const smi::StateMachineInference& inf) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "QUIC server CC state residency: MotoG vs desktop (50 Mbps clean "
       "path, 20 MB transfer)",

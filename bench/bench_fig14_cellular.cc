@@ -10,7 +10,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner("PLT over emulated commercial cellular networks",
                           "Fig. 14 + Table 5 parameters (Sec. 5.2)");
 

@@ -9,7 +9,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "QUIC v37 with MACW=430 vs MACW=2000 against TCP",
       "Fig. 15 (Sec. 5.4, 'Comparison with QUIC 37')");

@@ -12,7 +12,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner("QUIC vs proxied TCP (split-connection TCP proxy)",
                           "Fig. 17 + Fig. 16 topology (Sec. 5.5)");
 

@@ -12,7 +12,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner("QUIC direct vs QUIC through a proxy",
                           "Fig. 18 (Sec. 5.5)");
 

@@ -30,7 +30,8 @@ double mean_plt(const quic::QuicConfig& cfg, const Workload& w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Historical QUIC versions 25..37, same workload (10 MB at 100 Mbps)",
       "Sec. 5.4 'Historical Comparison'");

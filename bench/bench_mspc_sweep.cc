@@ -9,7 +9,8 @@ using namespace longlook;
 using namespace longlook::harness;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "QUIC Maximum Streams Per Connection sweep, 100 x 10KB objects at "
       "50 Mbps",

@@ -55,7 +55,8 @@ void print_scenario(const char* label, const std::vector<AggFlow>& flows,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Average throughput of QUIC and TCP flows sharing a 5 Mbps link "
       "(buffer=30KB)",

@@ -72,7 +72,8 @@ Measured measure(const CellularProfile& profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Emulated cellular network characteristics vs the paper's Table 5",
       "Table 5 (Sec. 5.2, 'Tests on commercial cellular networks')");

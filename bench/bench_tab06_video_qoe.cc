@@ -50,7 +50,8 @@ std::string ms(const std::vector<double>& xs, int dp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  longlook::bench::parse_args(argc, argv);
   longlook::bench::banner(
       "Video QoE for a 1-hour video, 60 s watch, 100 Mbps + 1% loss",
       "Table 6 (Sec. 5.3)");

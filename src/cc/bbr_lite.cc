@@ -17,9 +17,32 @@ BbrLite::BbrLite(const RttEstimator& rtt, BbrConfig config)
       pacing_gain_(config.startup_gain),
       cwnd_gain_(config.startup_gain) {}
 
+void BbrLite::set_trace(obs::TraceSink* sink, std::string side) {
+  trace_sink_ = sink;
+  trace_side_ = std::move(side);
+  cc_tracker_.set_trace(sink, trace_side_);
+}
+
+void BbrLite::emit_window(TimePoint now) {
+  if (trace_sink_ == nullptr || cwnd_ == last_traced_cwnd_) return;
+  last_traced_cwnd_ = cwnd_;
+  trace_sink_->record(
+      obs::TraceEvent("cc:cwnd", now)
+          .s("side", trace_side_)
+          .u("cwnd", cwnd_)
+          .u("pacing_Bps",
+             static_cast<std::uint64_t>(pacing_rate_bytes_per_sec())));
+}
+
 void BbrLite::enter(TimePoint now, BbrState s) {
   if (s == state_) return;
   trace_.push_back({now, state_, s});
+  if (trace_sink_ != nullptr) {
+    trace_sink_->record(obs::TraceEvent("cc:bbr_state", now)
+                            .s("side", trace_side_)
+                            .s("from", to_string(state_))
+                            .s("to", to_string(s)));
+  }
   state_ = s;
   switch (s) {
     case BbrState::kStartup:
@@ -163,11 +186,13 @@ void BbrLite::on_congestion_event(TimePoint now, std::size_t prior_in_flight,
         cwnd_gain_ * static_cast<double>(bdp_bytes()));
     cwnd_ = std::max(target, config_.min_cwnd_packets * config_.mss);
   }
+  emit_window(now);
 }
 
 void BbrLite::on_retransmission_timeout(TimePoint now) {
   cwnd_ = config_.min_cwnd_packets * config_.mss;
   cc_tracker_.transition(now, CcState::kRetransmissionTimeout);
+  emit_window(now);
 }
 
 void BbrLite::on_tail_loss_probe(TimePoint now) {

@@ -56,6 +56,10 @@ class BbrLite final : public SendAlgorithm {
   StateTracker& tracker() override { return cc_tracker_; }
   const StateTracker& tracker() const override { return cc_tracker_; }
 
+  // Also emits "cc:bbr_state" on BBR-machine transitions and "cc:cwnd" on
+  // window changes.
+  void set_trace(obs::TraceSink* sink, std::string side) override;
+
   BbrState state() const { return state_; }
   const std::vector<BbrTransition>& bbr_trace() const { return trace_; }
   double bandwidth_estimate_bps() const { return max_bandwidth_bps_; }
@@ -102,6 +106,12 @@ class BbrLite final : public SendAlgorithm {
   TimePoint next_send_{};
   double delivered_bytes_ = 0;
   TimePoint delivered_stamp_{};
+
+  // Structured tracing (see emit_window).
+  void emit_window(TimePoint now);
+  obs::TraceSink* trace_sink_ = nullptr;
+  std::string trace_side_;
+  std::size_t last_traced_cwnd_ = 0;
 };
 
 }  // namespace longlook

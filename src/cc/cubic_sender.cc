@@ -21,6 +21,26 @@ CubicSender::CubicSender(const RttEstimator& rtt, CubicSenderConfig config)
                     ? config.buggy_initial_ssthresh_packets * config.mss
                     : kUnboundedSsthresh) {}
 
+void CubicSender::set_trace(obs::TraceSink* sink, std::string side) {
+  trace_sink_ = sink;
+  trace_side_ = std::move(side);
+  tracker_.set_trace(sink, trace_side_);
+}
+
+void CubicSender::emit_window(TimePoint now) {
+  if (trace_sink_ == nullptr) return;
+  if (cwnd_ == last_traced_cwnd_ && ssthresh_ == last_traced_ssthresh_) return;
+  last_traced_cwnd_ = cwnd_;
+  last_traced_ssthresh_ = ssthresh_;
+  obs::TraceEvent ev("cc:cwnd", now);
+  ev.s("side", trace_side_).u("cwnd", cwnd_);
+  if (ssthresh_ != kUnboundedSsthresh) ev.u("ssthresh", ssthresh_);
+  if (config_.pacing_enabled) {
+    ev.u("pacing_Bps", static_cast<std::uint64_t>(pacer_.rate_bytes_per_sec()));
+  }
+  trace_sink_->record(ev);
+}
+
 void CubicSender::on_connection_established(TimePoint now,
                                             std::size_t receiver_buffer_bytes) {
   established_ = true;
@@ -32,6 +52,7 @@ void CubicSender::on_connection_established(TimePoint now,
     }
   }
   update_state(now);
+  emit_window(now);
 }
 
 void CubicSender::on_packet_sent(TimePoint now, PacketNumber pn,
@@ -124,6 +145,7 @@ void CubicSender::on_congestion_event(TimePoint now,
                   in_slow_start());
   }
   update_state(now);
+  emit_window(now);
 }
 
 void CubicSender::on_retransmission_timeout(TimePoint now) {
@@ -136,6 +158,7 @@ void CubicSender::on_retransmission_timeout(TimePoint now) {
   rto_outstanding_ = true;
   check_window_invariants();
   tracker_.transition(now, CcState::kRetransmissionTimeout);
+  emit_window(now);
 }
 
 void CubicSender::on_tail_loss_probe(TimePoint now) {

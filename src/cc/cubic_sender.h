@@ -69,6 +69,9 @@ class CubicSender final : public SendAlgorithm {
   StateTracker& tracker() override { return tracker_; }
   const StateTracker& tracker() const override { return tracker_; }
 
+  // Also emits "cc:cwnd" events whenever cwnd/ssthresh change.
+  void set_trace(obs::TraceSink* sink, std::string side) override;
+
   const CubicSenderConfig& config() const { return config_; }
   std::size_t max_congestion_window() const {
     return config_.max_cwnd_packets * config_.mss;
@@ -80,6 +83,8 @@ class CubicSender final : public SendAlgorithm {
   void grow_window(TimePoint now, const AckedPacket& acked,
                    std::size_t prior_in_flight);
   void update_state(TimePoint now);
+  // Emits a "cc:cwnd" event if cwnd or ssthresh moved since the last one.
+  void emit_window(TimePoint now);
 
   // The Table-3 window bounds every transition must respect: cwnd stays
   // within [min_cwnd, max(MACW, initial cwnd)] and ssthresh never drops
@@ -112,6 +117,11 @@ class CubicSender final : public SendAlgorithm {
   bool rto_outstanding_ = false;
   PacketNumber recovery_end_ = 0;
   PacketNumber largest_sent_ = 0;
+
+  obs::TraceSink* trace_sink_ = nullptr;
+  std::string trace_side_;
+  std::size_t last_traced_cwnd_ = 0;
+  std::size_t last_traced_ssthresh_ = 0;
 };
 
 }  // namespace longlook

@@ -33,6 +33,12 @@ void StateTracker::transition(TimePoint now, CcState to) {
   state_ = to;
   entered_ = now;
   if (listener_) listener_(rec);
+  if (trace_sink_ != nullptr) {
+    trace_sink_->record(obs::TraceEvent("cc:state", now)
+                            .s("side", trace_side_)
+                            .s("from", to_string(rec.from))
+                            .s("to", to_string(rec.to)));
+  }
 }
 
 std::vector<double> StateTracker::time_in_state(TimePoint end) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cc/types.h"
+#include "obs/trace.h"
 #include "util/time.h"
 
 namespace longlook {
@@ -41,11 +42,20 @@ class StateTracker {
     listener_ = std::move(fn);
   }
 
+  // Optional structured-trace sink: each transition is also emitted as a
+  // "cc:state" event tagged with `side` ("client"/"server"). Null disables.
+  void set_trace(obs::TraceSink* sink, std::string side) {
+    trace_sink_ = sink;
+    trace_side_ = std::move(side);
+  }
+
  private:
   CcState state_;
   TimePoint entered_{};
   std::vector<StateTransitionRecord> trace_;
   std::function<void(const StateTransitionRecord&)> listener_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  std::string trace_side_;
 };
 
 }  // namespace longlook

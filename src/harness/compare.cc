@@ -1,52 +1,190 @@
 #include "harness/compare.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+
+#include "net/trace.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace longlook::harness {
 
+namespace {
+
+void emit_run_start(obs::TraceSink* sink, const char* proto,
+                    const Scenario& scenario, const Workload& workload,
+                    TimePoint now) {
+  if (sink == nullptr) return;
+  sink->record(obs::TraceEvent("run:start", now)
+                   .s("proto", proto)
+                   .s("scenario", scenario.name)
+                   .u("seed", scenario.seed)
+                   .u("objects", workload.object_count)
+                   .u("object_bytes", workload.object_bytes));
+}
+
+void emit_run_summary(obs::TraceSink* sink, bool done, Duration plt,
+                      TimePoint now) {
+  if (sink == nullptr) return;
+  obs::TraceEvent ev("run:summary", now);
+  if (done) {
+    ev.i("plt_ns", plt.count());
+  } else {
+    ev.b("timed_out", true);
+  }
+  sink->record(ev);
+}
+
+void fold_link_metrics(obs::MetricsRegistry& m, const std::string& p,
+                       Testbed& tb) {
+  const LinkStats& up = tb.uplink().stats();
+  const LinkStats& down = tb.downlink().stats();
+  m.incr(p + "link_drops_queue", up.dropped_queue + down.dropped_queue);
+  m.incr(p + "link_drops_random", up.dropped_random + down.dropped_random);
+  m.incr(p + "link_reordered",
+         up.delivered_out_of_order + down.delivered_out_of_order);
+}
+
+}  // namespace
+
 std::optional<double> run_quic_page_load(const Scenario& scenario,
                                          const Workload& workload,
                                          const CompareOptions& opts,
-                                         quic::TokenCache& tokens) {
-  Testbed tb(scenario);
-  http::QuicObjectServer server(tb.sim(), tb.server_host(), kQuicPort,
-                                opts.quic);
-  const std::shared_ptr<void> keepalive =
-      opts.setup ? opts.setup(tb) : nullptr;
+                                         quic::TokenCache& tokens,
+                                         const RunObserver* observer) {
+  obs::TraceSink* sink = observer != nullptr ? observer->trace : nullptr;
+  // Tracing enabled: run under a copy of the options that carries the sink
+  // into both endpoints' transport configs. Disabled: the original options
+  // pass through untouched (no copy, no null-sink formatting anywhere).
+  CompareOptions traced;
+  const CompareOptions* eff = &opts;
+  if (sink != nullptr) {
+    traced = opts;
+    traced.quic.trace = sink;
+    eff = &traced;
+  }
 
-  const Address target = opts.quic_connect_to_mid
+  Testbed tb(scenario);
+  // Declared after tb so they detach from the links before teardown.
+  std::optional<LinkEventObserver> up_obs;
+  std::optional<LinkEventObserver> down_obs;
+  if (sink != nullptr) {
+    up_obs.emplace(tb.uplink(), *sink, "up");
+    down_obs.emplace(tb.downlink(), *sink, "down");
+    emit_run_start(sink, "quic", scenario, workload, tb.sim().now());
+  }
+  http::QuicObjectServer server(tb.sim(), tb.server_host(), kQuicPort,
+                                eff->quic);
+  const std::shared_ptr<void> keepalive =
+      eff->setup ? eff->setup(tb) : nullptr;
+
+  const Address target = eff->quic_connect_to_mid
                              ? tb.mid_host().address()
                              : tb.server_host().address();
-  const Port port = opts.quic_connect_port.value_or(kQuicPort);
+  const Port port = eff->quic_connect_port.value_or(kQuicPort);
   http::QuicClientSession session(tb.sim(), tb.client_host(), target, port,
-                                  opts.quic, tokens);
+                                  eff->quic, tokens);
   http::PageLoader loader(tb.sim(), session,
                           {workload.object_count, workload.object_bytes});
   loader.start();
   const bool done = tb.run_until([&] { return loader.finished(); },
-                                 opts.timeout);
+                                 eff->timeout);
+  emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
+
+  if (observer != nullptr && observer->metrics != nullptr) {
+    obs::MetricsRegistry& m = *observer->metrics;
+    const std::string& p = observer->prefix;
+    const quic::ConnectionStats& cs = session.connection().stats();
+    m.incr(p + "runs");
+    if (!done) m.incr(p + "timeouts");
+    m.incr(p + "packets_sent", cs.packets_sent);
+    m.incr(p + "packets_received", cs.packets_received);
+    m.incr(p + "bytes_sent", cs.bytes_sent);
+    m.incr(p + "stream_bytes_delivered", cs.stream_bytes_delivered);
+    m.incr(p + "packets_declared_lost", cs.packets_declared_lost);
+    m.incr(p + "spurious_losses", cs.spurious_losses);
+    m.incr(p + "tail_loss_probes", cs.tail_loss_probes);
+    m.incr(p + "rto_count", cs.rto_count);
+    m.incr(p + "handshake_rtts", cs.handshake_round_trips);
+    if (const quic::QuicConnection* sc = server.server().latest_connection()) {
+      const quic::ConnectionStats& ss = sc->stats();
+      m.incr(p + "server_packets_sent", ss.packets_sent);
+      m.incr(p + "server_declared_lost", ss.packets_declared_lost);
+      m.incr(p + "server_spurious_losses", ss.spurious_losses);
+      m.incr(p + "server_rto_count", ss.rto_count);
+    }
+    fold_link_metrics(m, p, tb);
+    if (sink != nullptr) m.record_to(*sink, tb.sim().now());
+  }
   if (!done) return std::nullopt;
   return to_seconds(loader.result().plt);
 }
 
 std::optional<double> run_tcp_page_load(const Scenario& scenario,
                                         const Workload& workload,
-                                        const CompareOptions& opts) {
-  Testbed tb(scenario);
-  http::TcpObjectServer server(tb.sim(), tb.server_host(), kTcpPort, opts.tcp);
-  const std::shared_ptr<void> keepalive =
-      opts.setup ? opts.setup(tb) : nullptr;
+                                        const CompareOptions& opts,
+                                        const RunObserver* observer) {
+  obs::TraceSink* sink = observer != nullptr ? observer->trace : nullptr;
+  CompareOptions traced;
+  const CompareOptions* eff = &opts;
+  if (sink != nullptr) {
+    traced = opts;
+    traced.tcp.trace = sink;
+    eff = &traced;
+  }
 
-  const Address target = opts.tcp_connect_to_mid ? tb.mid_host().address()
+  Testbed tb(scenario);
+  std::optional<LinkEventObserver> up_obs;
+  std::optional<LinkEventObserver> down_obs;
+  if (sink != nullptr) {
+    up_obs.emplace(tb.uplink(), *sink, "up");
+    down_obs.emplace(tb.downlink(), *sink, "down");
+    emit_run_start(sink, "tcp", scenario, workload, tb.sim().now());
+  }
+  http::TcpObjectServer server(tb.sim(), tb.server_host(), kTcpPort, eff->tcp);
+  const std::shared_ptr<void> keepalive =
+      eff->setup ? eff->setup(tb) : nullptr;
+
+  const Address target = eff->tcp_connect_to_mid ? tb.mid_host().address()
                                                  : tb.server_host().address();
-  const Port port = opts.tcp_connect_port.value_or(kTcpPort);
+  const Port port = eff->tcp_connect_port.value_or(kTcpPort);
   http::H2ClientSession session(tb.sim(), tb.client_host(), target, port,
-                                opts.tcp);
+                                eff->tcp);
   http::PageLoader loader(tb.sim(), session,
                           {workload.object_count, workload.object_bytes});
   loader.start();
   const bool done = tb.run_until([&] { return loader.finished(); },
-                                 opts.timeout);
+                                 eff->timeout);
+  emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
+
+  if (observer != nullptr && observer->metrics != nullptr) {
+    obs::MetricsRegistry& m = *observer->metrics;
+    const std::string& p = observer->prefix;
+    const tcp::TcpStats& cs = session.connection().stats();
+    m.incr(p + "runs");
+    if (!done) m.incr(p + "timeouts");
+    m.incr(p + "segments_sent", cs.segments_sent);
+    m.incr(p + "segments_received", cs.segments_received);
+    m.incr(p + "bytes_sent", cs.bytes_sent);
+    m.incr(p + "retransmitted_segments", cs.retransmitted_segments);
+    m.incr(p + "fast_retransmits", cs.fast_retransmits);
+    m.incr(p + "tail_loss_probes", cs.tail_loss_probes);
+    m.incr(p + "rto_count", cs.rto_count);
+    m.incr(p + "dsack_events", cs.dsack_events);
+    m.incr(p + "handshake_rtts", cs.handshake_round_trips);
+    if (const tcp::TcpConnection* sc = server.server().latest_connection()) {
+      const tcp::TcpStats& ss = sc->stats();
+      m.incr(p + "server_segments_sent", ss.segments_sent);
+      m.incr(p + "server_retransmitted", ss.retransmitted_segments);
+      m.incr(p + "server_dsack_events", ss.dsack_events);
+      m.incr(p + "server_rto_count", ss.rto_count);
+    }
+    fold_link_metrics(m, p, tb);
+    if (sink != nullptr) m.record_to(*sink, tb.sim().now());
+  }
   if (!done) return std::nullopt;
   return to_seconds(loader.result().plt);
 }
@@ -82,6 +220,9 @@ struct CellScratch {
   quic::TokenCache tokens_b;
   std::vector<std::optional<double>> a_plts;
   std::vector<std::optional<double>> b_plts;
+  // Per-round metric totals, merged into CellResult::metrics in round order
+  // by the commit job (disjoint slots, same scheme as the PLT vectors).
+  std::vector<obs::MetricsRegistry> round_metrics;
 };
 
 // Folds per-round slots into the CellResult in round order.
@@ -97,6 +238,9 @@ void commit_cell(const CellScratch& scratch, CellResult* out,
     if (plt) b.push_back(*plt); else all_complete = false;
   }
   *out = finish_cell(std::move(a), std::move(b), all_complete);
+  for (const obs::MetricsRegistry& m : scratch.round_metrics) {
+    out->metrics.merge(m);
+  }
   if (progress != nullptr) progress->tick();
 }
 
@@ -104,6 +248,35 @@ Scenario round_scenario(const Scenario& scenario, int r) {
   Scenario round = scenario;
   round.seed = scenario.seed + static_cast<std::uint64_t>(r) * 1000003;
   return round;
+}
+
+// Trace artifacts land in opts.trace_dir, or $LL_TRACE_OUT when that is
+// empty; both empty == tracing disabled.
+std::string trace_directory(const CompareOptions& opts) {
+  if (!opts.trace_dir.empty()) return opts.trace_dir;
+  const char* env = std::getenv("LL_TRACE_OUT");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+// Cell ids are assigned at submission time. Submissions happen serially on
+// the calling thread regardless of LL_JOBS, so the id — and therefore every
+// artifact file name — is identical for any worker count.
+std::atomic<std::uint64_t> g_cell_counter{0};
+
+std::string sanitize_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+std::string cell_label(const Scenario& scenario, const CompareOptions& opts) {
+  const std::uint64_t id = g_cell_counter.fetch_add(1);
+  const std::string& base =
+      opts.trace_label.empty() ? scenario.name : opts.trace_label;
+  return "c" + std::to_string(id) + "_" + sanitize_label(base);
 }
 
 }  // namespace
@@ -117,6 +290,16 @@ SweepRunner::Ticket compare_plt_async(SweepRunner& runner,
   auto scratch = std::make_shared<CellScratch>();
   scratch->a_plts.resize(static_cast<std::size_t>(opts.rounds));
   scratch->b_plts.resize(static_cast<std::size_t>(opts.rounds));
+  scratch->round_metrics.resize(static_cast<std::size_t>(opts.rounds));
+
+  // Resolved now, on the submitting thread, so names don't depend on which
+  // worker eventually runs the round.
+  const std::string dir = trace_directory(opts);
+  std::string label;
+  if (!dir.empty()) {
+    label = cell_label(scenario, opts);
+    std::filesystem::create_directories(dir);
+  }
 
   const SweepRunner::Ticket warm = runner.submit([scratch, scenario, opts] {
     if (!opts.warm_zero_rtt) return;
@@ -129,14 +312,28 @@ SweepRunner::Ticket compare_plt_async(SweepRunner& runner,
   rounds.reserve(static_cast<std::size_t>(opts.rounds));
   for (int r = 0; r < opts.rounds; ++r) {
     rounds.push_back(runner.submit(
-        [scratch, scenario, workload, opts, r] {
+        [scratch, scenario, workload, opts, dir, label, r] {
           const Scenario round = round_scenario(scenario, r);
           // Back-to-back: QUIC then TCP with identical network randomness.
           quic::TokenCache tokens = scratch->tokens_a;
           const std::size_t slot = static_cast<std::size_t>(r);
+          const bool tracing = !dir.empty();
+          obs::JsonLinesSink quic_sink;
+          obs::JsonLinesSink tcp_sink;
+          RunObserver quic_obs{tracing ? &quic_sink : nullptr,
+                               &scratch->round_metrics[slot], "quic."};
+          RunObserver tcp_obs{tracing ? &tcp_sink : nullptr,
+                              &scratch->round_metrics[slot], "tcp."};
           scratch->a_plts[slot] =
-              run_quic_page_load(round, workload, opts, tokens);
-          scratch->b_plts[slot] = run_tcp_page_load(round, workload, opts);
+              run_quic_page_load(round, workload, opts, tokens, &quic_obs);
+          scratch->b_plts[slot] =
+              run_tcp_page_load(round, workload, opts, &tcp_obs);
+          if (tracing) {
+            const std::string stem =
+                dir + "/" + label + "_r" + std::to_string(r);
+            LL_CHECK(quic_sink.write_file(stem + "_quic.jsonl"));
+            LL_CHECK(tcp_sink.write_file(stem + "_tcp.jsonl"));
+          }
         },
         {warm}));
   }
@@ -155,6 +352,14 @@ SweepRunner::Ticket compare_quic_pair_async(SweepRunner& runner,
   auto scratch = std::make_shared<CellScratch>();
   scratch->a_plts.resize(static_cast<std::size_t>(a_opts.rounds));
   scratch->b_plts.resize(static_cast<std::size_t>(a_opts.rounds));
+  scratch->round_metrics.resize(static_cast<std::size_t>(a_opts.rounds));
+
+  const std::string dir = trace_directory(a_opts);
+  std::string label;
+  if (!dir.empty()) {
+    label = cell_label(scenario, a_opts);
+    std::filesystem::create_directories(dir);
+  }
 
   const SweepRunner::Ticket warm =
       runner.submit([scratch, scenario, a_opts, b_opts] {
@@ -174,15 +379,28 @@ SweepRunner::Ticket compare_quic_pair_async(SweepRunner& runner,
   rounds.reserve(static_cast<std::size_t>(a_opts.rounds));
   for (int r = 0; r < a_opts.rounds; ++r) {
     rounds.push_back(runner.submit(
-        [scratch, scenario, workload, a_opts, b_opts, r] {
+        [scratch, scenario, workload, a_opts, b_opts, dir, label, r] {
           const Scenario round = round_scenario(scenario, r);
           quic::TokenCache tokens_a = scratch->tokens_a;
           quic::TokenCache tokens_b = scratch->tokens_b;
           const std::size_t slot = static_cast<std::size_t>(r);
+          const bool tracing = !dir.empty();
+          obs::JsonLinesSink a_sink;
+          obs::JsonLinesSink b_sink;
+          RunObserver a_obs{tracing ? &a_sink : nullptr,
+                            &scratch->round_metrics[slot], "quic_a."};
+          RunObserver b_obs{tracing ? &b_sink : nullptr,
+                            &scratch->round_metrics[slot], "quic_b."};
           scratch->a_plts[slot] =
-              run_quic_page_load(round, workload, a_opts, tokens_a);
+              run_quic_page_load(round, workload, a_opts, tokens_a, &a_obs);
           scratch->b_plts[slot] =
-              run_quic_page_load(round, workload, b_opts, tokens_b);
+              run_quic_page_load(round, workload, b_opts, tokens_b, &b_obs);
+          if (tracing) {
+            const std::string stem =
+                dir + "/" + label + "_r" + std::to_string(r);
+            LL_CHECK(a_sink.write_file(stem + "_a.jsonl"));
+            LL_CHECK(b_sink.write_file(stem + "_b.jsonl"));
+          }
         },
         {warm}));
   }

@@ -11,6 +11,8 @@
 #include "harness/testbed.h"
 #include "http/h2_session.h"
 #include "http/quic_session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/stats.h"
 
 namespace longlook::harness {
@@ -38,6 +40,15 @@ struct CompareOptions {
   std::optional<Port> tcp_connect_port;
   bool quic_connect_to_mid = false;  // connect to the mid host (proxy)
   bool tcp_connect_to_mid = false;
+  // Structured-trace artifacts: when non-empty (or LL_TRACE_OUT is set),
+  // every run writes a JSON-lines event trace under this directory, one file
+  // per (cell, round, protocol). File names are derived from a
+  // submission-order cell id, so artifacts are byte-identical at any
+  // LL_JOBS. Empty + unset env == tracing disabled (zero cost).
+  std::string trace_dir;
+  // Optional label folded into trace file names (defaults to the scenario
+  // name).
+  std::string trace_label;
 };
 
 struct CellResult {
@@ -49,6 +60,20 @@ struct CellResult {
   double p_value = 1.0;
   bool significant = false;
   bool all_complete = true;
+  // Per-cell transport/link totals, folded from every round in round order
+  // (keys prefixed "quic." / "tcp.", or "quic_a." / "quic_b." for pair
+  // cells). Always populated by the async runners; cheap integer counters.
+  obs::MetricsRegistry metrics;
+};
+
+// Optional per-run observability hooks threaded through the page-load
+// runners: `trace` receives the run's structured events (null == tracing
+// disabled, zero formatting cost), `metrics` receives per-run totals under
+// `prefix` (e.g. "quic.packets_sent").
+struct RunObserver {
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string prefix;
 };
 
 // Runs a single QUIC page load in a fresh testbed; returns PLT seconds or
@@ -56,10 +81,12 @@ struct CellResult {
 std::optional<double> run_quic_page_load(const Scenario& scenario,
                                          const Workload& workload,
                                          const CompareOptions& opts,
-                                         quic::TokenCache& tokens);
+                                         quic::TokenCache& tokens,
+                                         const RunObserver* observer = nullptr);
 std::optional<double> run_tcp_page_load(const Scenario& scenario,
                                         const Workload& workload,
-                                        const CompareOptions& opts);
+                                        const CompareOptions& opts,
+                                        const RunObserver* observer = nullptr);
 
 // Full comparison cell: rounds x (QUIC, TCP) with paired seeds + the t-test.
 CellResult compare_plt(const Scenario& scenario, const Workload& workload,

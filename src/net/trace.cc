@@ -78,6 +78,47 @@ TraceSummary PacketTrace::summarize() const {
   return s;
 }
 
+LinkEventObserver::LinkEventObserver(DirectionalLink& link,
+                                     obs::TraceSink& sink,
+                                     std::string direction)
+    : link_(link), sink_(sink), direction_(std::move(direction)) {
+  link_.set_tap([this](LinkEvent event, const Packet& p, TimePoint now) {
+    on_event(event, p, now);
+  });
+}
+
+LinkEventObserver::~LinkEventObserver() { link_.set_tap({}); }
+
+void LinkEventObserver::on_event(LinkEvent event, const Packet& p,
+                                 TimePoint now) {
+  switch (event) {
+    case LinkEvent::kEnqueued:
+      break;  // routine; transports log their own sends
+    case LinkEvent::kDroppedQueue:
+      sink_.record(obs::TraceEvent("net:drop_queue", now)
+                       .s("dir", direction_)
+                       .u("bytes", p.wire_size())
+                       .s("proto", p.proto == IpProto::kUdp ? "udp" : "tcp"));
+      break;
+    case LinkEvent::kDroppedRandom:
+      sink_.record(obs::TraceEvent("net:drop_random", now)
+                       .s("dir", direction_)
+                       .u("bytes", p.wire_size())
+                       .s("proto", p.proto == IpProto::kUdp ? "udp" : "tcp"));
+      break;
+    case LinkEvent::kDelivered:
+      if (p.emission_seq < max_delivered_seq_) {
+        sink_.record(obs::TraceEvent("net:reorder", now)
+                         .s("dir", direction_)
+                         .u("seq", p.emission_seq)
+                         .u("depth", max_delivered_seq_ - p.emission_seq));
+      } else {
+        max_delivered_seq_ = p.emission_seq;
+      }
+      break;
+  }
+}
+
 std::string PacketTrace::to_text(std::size_t max_lines) const {
   std::ostringstream os;
   std::size_t lines = 0;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/link.h"
+#include "obs/trace.h"
 
 namespace longlook {
 
@@ -61,5 +62,30 @@ class PacketTrace {
 };
 
 std::string_view to_string(LinkEvent e);
+
+// Bridges a DirectionalLink's tap into the structured-trace layer: router
+// drops ("net:drop_queue" / "net:drop_random") and reordered deliveries
+// ("net:reorder") become obs events tagged with `direction` ("up"/"down").
+// Normal in-order deliveries are not emitted — the transports already record
+// their own send/receive events, so the link layer only reports anomalies.
+// Installs itself as the link's tap on construction and detaches on
+// destruction; must be destroyed before the link.
+class LinkEventObserver {
+ public:
+  LinkEventObserver(DirectionalLink& link, obs::TraceSink& sink,
+                    std::string direction);
+  ~LinkEventObserver();
+
+  LinkEventObserver(const LinkEventObserver&) = delete;
+  LinkEventObserver& operator=(const LinkEventObserver&) = delete;
+
+ private:
+  void on_event(LinkEvent event, const Packet& p, TimePoint now);
+
+  DirectionalLink& link_;
+  obs::TraceSink& sink_;
+  std::string direction_;
+  std::uint64_t max_delivered_seq_ = 0;
+};
 
 }  // namespace longlook

@@ -1,0 +1,48 @@
+#include "obs/metrics.h"
+
+#include "obs/trace.h"
+
+namespace longlook::obs {
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, value] : other.counters_) counters_[key] += value;
+  for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\":";
+    out += value;
+  };
+  // Two-way sorted merge so the combined namespace renders in key order.
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  while (c != counters_.end() || g != gauges_.end()) {
+    if (g == gauges_.end() ||
+        (c != counters_.end() && c->first <= g->first)) {
+      append(c->first, std::to_string(c->second));
+      if (g != gauges_.end() && g->first == c->first) ++g;  // counter wins
+      ++c;
+    } else {
+      append(g->first, std::to_string(g->second));
+      ++g;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+void MetricsRegistry::record_to(TraceSink& sink, TimePoint at) const {
+  TraceEvent ev("run:metrics", at);
+  for (const auto& [key, value] : counters_) ev.u(key, value);
+  for (const auto& [key, value] : gauges_) ev.i(key, value);
+  sink.record(ev);
+}
+
+}  // namespace longlook::obs

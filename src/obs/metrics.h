@@ -1,0 +1,61 @@
+// Per-run counter/gauge aggregation.
+//
+// Runs fold their end-of-run totals (retransmissions, spurious losses, RTO
+// events, bytes by type) into a MetricsRegistry; the harness merges the
+// per-round registries in round order into the CellResult, so the folded
+// totals are byte-identical for any LL_JOBS — the same discipline as the
+// PLT fold. Keys live in a std::map, so rendering order is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace longlook::obs {
+
+class TraceSink;
+
+class MetricsRegistry {
+ public:
+  // Counters accumulate across merges.
+  void incr(std::string_view key, std::uint64_t delta = 1) {
+    if (delta != 0) counters_[std::string(key)] += delta;
+  }
+  // Gauges hold a point-in-time value; merge keeps the incoming value
+  // (last-writer-wins in fold order).
+  void set_gauge(std::string_view key, std::int64_t value) {
+    gauges_[std::string(key)] = value;
+  }
+
+  std::uint64_t counter(std::string_view key) const {
+    auto it = counters_.find(std::string(key));
+    return it == counters_.end() ? 0 : it->second;
+  }
+  bool empty() const { return counters_.empty() && gauges_.empty(); }
+  std::size_t size() const { return counters_.size() + gauges_.size(); }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::int64_t>& gauges() const { return gauges_; }
+
+  // Folds `other` into this registry (counters sum, gauges overwrite).
+  void merge(const MetricsRegistry& other);
+
+  // One sorted JSON object: {"a":1,"b":2}. Counters and gauges share the
+  // namespace; a duplicate key prefers the counter.
+  std::string to_json() const;
+
+  // Emits the whole registry as a single "run:metrics" trace event (the
+  // artifact's footer line).
+  void record_to(TraceSink& sink, TimePoint at) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+};
+
+}  // namespace longlook::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace longlook::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8] = {};
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonLinesSink::record(const TraceEvent& event) {
+  buffer_ += "{\"t\":";
+  buffer_ += std::to_string(event.at().time_since_epoch().count());
+  buffer_ += ",\"ev\":\"";
+  append_json_escaped(buffer_, event.name());
+  buffer_ += '"';
+  for (const TraceField& f : event.fields()) {
+    buffer_ += ",\"";
+    append_json_escaped(buffer_, f.key);
+    buffer_ += "\":";
+    switch (f.kind) {
+      case TraceField::Kind::kU64:
+        buffer_ += std::to_string(f.u);
+        break;
+      case TraceField::Kind::kI64:
+        buffer_ += std::to_string(f.i);
+        break;
+      case TraceField::Kind::kBool:
+        buffer_ += f.b ? "true" : "false";
+        break;
+      case TraceField::Kind::kStr:
+        buffer_ += '"';
+        append_json_escaped(buffer_, f.s);
+        buffer_ += '"';
+        break;
+    }
+  }
+  buffer_ += "}\n";
+  ++lines_;
+}
+
+bool JsonLinesSink::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  return static_cast<bool>(out);
+}
+
+void RecordingSink::record(const TraceEvent& event) {
+  StoredEvent stored;
+  stored.name = std::string(event.name());
+  stored.at = event.at();
+  stored.fields.reserve(event.fields().size());
+  for (const TraceField& f : event.fields()) {
+    StoredField sf;
+    sf.key = std::string(f.key);
+    sf.kind = f.kind;
+    sf.u = f.u;
+    sf.i = f.i;
+    sf.b = f.b;
+    sf.s = std::string(f.s);
+    stored.fields.push_back(std::move(sf));
+  }
+  events_.push_back(std::move(stored));
+}
+
+std::string_view StoredEvent::str(std::string_view key) const {
+  for (const StoredField& f : fields) {
+    if (f.key == key) return f.s;
+  }
+  return {};
+}
+
+std::uint64_t StoredEvent::uint(std::string_view key) const {
+  for (const StoredField& f : fields) {
+    if (f.key == key) return f.u;
+  }
+  return 0;
+}
+
+bool StoredEvent::has(std::string_view key) const {
+  for (const StoredField& f : fields) {
+    if (f.key == key) return true;
+  }
+  return false;
+}
+
+}  // namespace longlook::obs

@@ -1,0 +1,156 @@
+// Structured per-connection event tracing (qlog-flavoured, Marx et al.).
+//
+// Transports, congestion controllers, and the link layer emit typed
+// TraceEvents into a TraceSink; the JSON-lines writer turns a run into a
+// machine-readable artifact (docs/trace_schema.md) and the recording sink
+// feeds smi:: state-machine inference directly. Tracing is zero-cost when
+// disabled: emitters hold a nullable TraceSink* and every emission site is
+// guarded by a single pointer compare — no formatting, no allocation.
+//
+// Determinism: event times are virtual (SimClock) nanoseconds and every
+// value is an integer or a fixed string, so a traced run renders to
+// byte-identical artifacts on any platform and at any LL_JOBS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace longlook::obs {
+
+// One typed key/value field of an event. Keys and string values are
+// string_views: emitters pass literals (or storage that outlives the
+// record() call), so building an event never copies.
+struct TraceField {
+  enum class Kind : std::uint8_t { kU64, kI64, kBool, kStr };
+
+  std::string_view key;
+  Kind kind = Kind::kU64;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  bool b = false;
+  std::string_view s;
+};
+
+// A single timestamped event, built fluently at the emission site:
+//   obs::TraceEvent ev("quic:packet_sent", now);
+//   ev.s("side", side()).u("pn", pn).u("bytes", wire_bytes);
+//   sink->record(ev);
+class TraceEvent {
+ public:
+  TraceEvent(std::string_view name, TimePoint at) : name_(name), at_(at) {
+    fields_.reserve(8);
+  }
+
+  TraceEvent& u(std::string_view key, std::uint64_t v) {
+    TraceField f;
+    f.key = key;
+    f.kind = TraceField::Kind::kU64;
+    f.u = v;
+    fields_.push_back(f);
+    return *this;
+  }
+  TraceEvent& i(std::string_view key, std::int64_t v) {
+    TraceField f;
+    f.key = key;
+    f.kind = TraceField::Kind::kI64;
+    f.i = v;
+    fields_.push_back(f);
+    return *this;
+  }
+  TraceEvent& b(std::string_view key, bool v) {
+    TraceField f;
+    f.key = key;
+    f.kind = TraceField::Kind::kBool;
+    f.b = v;
+    fields_.push_back(f);
+    return *this;
+  }
+  TraceEvent& s(std::string_view key, std::string_view v) {
+    TraceField f;
+    f.key = key;
+    f.kind = TraceField::Kind::kStr;
+    f.s = v;
+    fields_.push_back(f);
+    return *this;
+  }
+
+  std::string_view name() const { return name_; }
+  TimePoint at() const { return at_; }
+  const std::vector<TraceField>& fields() const { return fields_; }
+
+ private:
+  std::string_view name_;
+  TimePoint at_{};
+  std::vector<TraceField> fields_;
+};
+
+// Abstract event consumer. Emitters hold `TraceSink*`; nullptr == disabled.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+// Renders each event as one JSON object per line:
+//   {"t":<ns>,"ev":"<name>",<fields in emission order>}
+// Buffered in memory; write_file() flushes the whole run at once so a
+// parallel sweep never interleaves writers within a file.
+class JsonLinesSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override;
+
+  const std::string& text() const { return buffer_; }
+  std::size_t line_count() const { return lines_; }
+
+  // Writes the buffered lines to `path` (truncating). Returns false on I/O
+  // failure; tracing is an observability layer, so callers treat a failed
+  // write as a degraded artifact, never a failed run.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+  std::size_t lines_ = 0;
+};
+
+// Deep-copied event storage for in-process consumers (tests, smi::
+// inference): unlike TraceEvent, a StoredEvent owns its strings.
+struct StoredField {
+  std::string key;
+  TraceField::Kind kind = TraceField::Kind::kU64;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  bool b = false;
+  std::string s;
+};
+
+struct StoredEvent {
+  std::string name;
+  TimePoint at{};
+  std::vector<StoredField> fields;
+
+  // Lookup helpers; return zero/empty when the key is absent.
+  std::string_view str(std::string_view key) const;
+  std::uint64_t uint(std::string_view key) const;
+  bool has(std::string_view key) const;
+};
+
+class RecordingSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override;
+
+  const std::vector<StoredEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<StoredEvent> events_;
+};
+
+// JSON string escaping shared by the writers (quotes, backslashes, control
+// characters).
+void append_json_escaped(std::string& out, std::string_view s);
+
+}  // namespace longlook::obs

@@ -7,6 +7,18 @@
 
 namespace longlook::quic {
 
+namespace {
+const char* handshake_message_name(HandshakeMessageType t) {
+  switch (t) {
+    case HandshakeMessageType::kInchoateChlo: return "inchoate_chlo";
+    case HandshakeMessageType::kRej: return "rej";
+    case HandshakeMessageType::kFullChlo: return "full_chlo";
+    case HandshakeMessageType::kShlo: return "shlo";
+  }
+  return "?";
+}
+}  // namespace
+
 LossDetectionConfig QuicConfig::make_loss_config() const {
   LossDetectionConfig cfg;
   cfg.mode = loss_mode;
@@ -58,6 +70,7 @@ QuicConnection::QuicConnection(Simulator& sim, Host& host,
     bbr_ = bbr.get();
     cc_ = std::move(bbr);
   }
+  if (config_.trace != nullptr) cc_->set_trace(config_.trace, side());
 }
 
 void QuicConnection::connect(std::function<void()> established_cb) {
@@ -116,6 +129,11 @@ QuicStream& QuicConnection::get_or_create_stream(StreamId id) {
   QuicStream& ref = *stream;
   streams_.emplace(id, std::move(stream));
   send_order_.push_back(id);
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:stream_opened", sim_.now())
+                        .s("side", side())
+                        .u("sid", id));
+  }
   const bool peer_initiated = perspective_ == Perspective::kServer;
   if (peer_initiated && on_new_stream_) on_new_stream_(ref);
   return ref;
@@ -144,6 +162,9 @@ void QuicConnection::close() {
   retransmission_timer_.cancel();
   ack_timer_.cancel();
   pacing_timer_.cancel();
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:close", sim_.now()).s("side", side()));
+  }
 }
 
 // --- Receive path ---------------------------------------------------------
@@ -157,6 +178,13 @@ void QuicConnection::process_packet(const QuicPacket& packet, TimePoint now) {
   }
   const bool duplicate = ack_manager_.on_packet_received(
       now, packet.packet_number, retransmittable);
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:packet_received", now)
+                        .s("side", side())
+                        .u("pn", packet.packet_number)
+                        .u("frames", packet.frames.size())
+                        .b("dup", duplicate));
+  }
   if (!duplicate) {
     for (const Frame& f : packet.frames) process_frame(f, now);
   }
@@ -194,6 +222,11 @@ void QuicConnection::process_frame(const Frame& frame, TimePoint now) {
 }
 
 void QuicConnection::handle_handshake(const HandshakeFrame& hs, TimePoint now) {
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:handshake", now)
+                        .s("side", side())
+                        .s("msg", handshake_message_name(hs.type)));
+  }
   switch (hs.type) {
     case HandshakeMessageType::kInchoateChlo: {
       if (perspective_ != Perspective::kServer) break;
@@ -246,6 +279,11 @@ void QuicConnection::handle_handshake(const HandshakeFrame& hs, TimePoint now) {
 
 void QuicConnection::on_established(std::size_t peer_window) {
   conn_peer_max_ = std::max<std::uint64_t>(conn_peer_max_, peer_window);
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:established", sim_.now())
+                        .s("side", side())
+                        .u("rtts", stats_.handshake_round_trips));
+  }
   if (cubic_ != nullptr) {
     cubic_->on_connection_established(sim_.now(), peer_window);
   }
@@ -256,6 +294,30 @@ void QuicConnection::handle_ack(const AckFrame& ack, TimePoint now) {
   AckProcessResult result = spm_.on_ack(ack, now, rtt_);
   stats_.packets_declared_lost += result.lost.size();
   if (result.spurious_loss_detected) ++stats_.spurious_losses;
+  if (trace() != nullptr) {
+    for (const LostPacket& lp : result.lost) {
+      trace()->record(obs::TraceEvent("quic:packet_lost", now)
+                          .s("side", side())
+                          .u("pn", lp.packet_number)
+                          .u("bytes", lp.bytes));
+    }
+    for (const AckedPacket& sp : result.spurious_acked) {
+      trace()->record(obs::TraceEvent("quic:spurious_loss", now)
+                          .s("side", side())
+                          .u("pn", sp.packet_number)
+                          .u("bytes", sp.bytes));
+    }
+    obs::TraceEvent ev("quic:ack_processed", now);
+    ev.s("side", side())
+        .u("largest", ack.largest_acked)
+        .u("acked", result.acked.size())
+        .u("lost", result.lost.size())
+        .u("spurious", result.spurious_acked.size());
+    if (result.rtt_updated) {
+      ev.i("rtt_ns", rtt_.latest().count());
+    }
+    trace()->record(ev);
+  }
 
   // Re-queue lost data for retransmission under fresh packet numbers.
   for (const StreamDataRef& ref : result.lost_data) {
@@ -275,6 +337,16 @@ void QuicConnection::handle_ack(const AckFrame& ack, TimePoint now) {
     }
   }
 
+  // Spuriously-lost data arrived after all: drop its queued retransmission.
+  // Runs after the requeue loop so a retransmission that was itself declared
+  // lost in this same ACK still gets cancelled (the original delivered).
+  for (const StreamDataRef& ref : result.spurious_data) {
+    if (ref.handshake || ref.window_update) continue;
+    if (QuicStream* s = stream(ref.stream_id)) {
+      s->cancel_retransmission(ref.offset, ref.len, ref.fin);
+    }
+  }
+
   if (!result.acked.empty()) {
     tlp_count_ = 0;
     consecutive_rto_ = 0;
@@ -288,6 +360,12 @@ void QuicConnection::handle_stream(const StreamFrame& sf, TimePoint now) {
   const auto result = s.on_stream_frame(sf.offset, sf.data, sf.fin);
   conn_delivered_ += result.newly_delivered;
   stats_.stream_bytes_delivered += result.newly_delivered;
+  if (result.fin_delivered && trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:stream_fin", now)
+                        .s("side", side())
+                        .u("sid", s.id())
+                        .u("bytes", s.delivered_bytes()));
+  }
   if (result.newly_delivered == 0) return;
 
   // Data reached the application, but flow control only re-advertises it
@@ -550,6 +628,13 @@ void QuicConnection::send_quic_packet(QuicPacket&& pkt, bool retransmittable,
   const std::size_t wire_bytes = datagram.data.size();
   ++stats_.packets_sent;
   stats_.bytes_sent += wire_bytes;
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("quic:packet_sent", now)
+                        .s("side", side())
+                        .u("pn", pn)
+                        .u("bytes", wire_bytes)
+                        .b("rtxable", retransmittable));
+  }
   const std::size_t in_flight_before = spm_.bytes_in_flight();
   spm_.on_packet_sent(pn, retransmittable ? wire_bytes : 0, now,
                       retransmittable, std::move(data));
@@ -623,6 +708,14 @@ void QuicConnection::on_retransmission_alarm() {
     AckProcessResult result = spm_.detect_time_losses(now, rtt_);
     if (!result.lost.empty()) {
       stats_.packets_declared_lost += result.lost.size();
+      if (trace() != nullptr) {
+        for (const LostPacket& lp : result.lost) {
+          trace()->record(obs::TraceEvent("quic:packet_lost", now)
+                              .s("side", side())
+                              .u("pn", lp.packet_number)
+                              .u("bytes", lp.bytes));
+        }
+      }
       for (const StreamDataRef& ref : result.lost_data) {
         if (QuicStream* s = stream(ref.stream_id); s != nullptr &&
                                                    !ref.handshake &&
@@ -645,6 +738,11 @@ void QuicConnection::on_retransmission_alarm() {
     // Tail loss probe: retransmit the newest unacked data immediately.
     ++tlp_count_;
     ++stats_.tail_loss_probes;
+    if (trace() != nullptr) {
+      trace()->record(obs::TraceEvent("quic:tlp", now)
+                          .s("side", side())
+                          .i("n", tlp_count_));
+    }
     cc_->on_tail_loss_probe(now);
     for (const StreamDataRef& ref : spm_.tail_loss_probe_data()) {
       if (ref.handshake) {
@@ -664,6 +762,11 @@ void QuicConnection::on_retransmission_alarm() {
     // Retransmission timeout: collapse the window, resend everything.
     ++consecutive_rto_;
     ++stats_.rto_count;
+    if (trace() != nullptr) {
+      trace()->record(obs::TraceEvent("quic:rto", now)
+                          .s("side", side())
+                          .i("n", consecutive_rto_));
+    }
     for (const StreamDataRef& ref : spm_.on_retransmission_timeout()) {
       if (ref.handshake) {
         if (ref.offset < sent_handshake_log_.size()) {

@@ -18,6 +18,7 @@
 #include "cc/cubic_sender.h"
 #include "cc/rtt_estimator.h"
 #include "net/host.h"
+#include "obs/trace.h"
 #include "quic/ack_manager.h"
 #include "quic/frames.h"
 #include "quic/sent_packet_manager.h"
@@ -51,6 +52,9 @@ struct QuicConfig {
   // the sender's per-round RTT floor rises, and Hybrid Slow Start exits
   // early. Irrelevant for pages with few objects.
   Duration ack_processing_per_active_stream = microseconds(150);
+  // Structured event tracing (docs/trace_schema.md). Null disables; the sink
+  // must outlive the connection. Not owned.
+  obs::TraceSink* trace = nullptr;
 
   LossDetectionConfig make_loss_config() const;
   CubicSenderConfig make_cc_config() const;
@@ -147,6 +151,12 @@ class QuicConnection {
   void send_quic_packet(QuicPacket&& pkt, bool retransmittable,
                         std::vector<StreamDataRef> data);
   bool stream_is_active(const QuicStream& s) const;
+  // Structured-trace helpers: sink pointer (null == disabled) and the
+  // constant "side" tag for this endpoint's events.
+  obs::TraceSink* trace() const { return config_.trace; }
+  const char* side() const {
+    return perspective_ == Perspective::kClient ? "client" : "server";
+  }
 
   Simulator& sim_;
   Host& host_;

@@ -77,6 +77,13 @@ AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
         << "] above largest_acked " << ack.largest_acked;
   }
 
+  // Gap decisions below must see the ACK frame's own largest: the member is
+  // only advanced after the range loop, and the frame that reveals a
+  // spurious loss usually carries the new maximum, so using the stale value
+  // understates the observed reordering depth.
+  const PacketNumber effective_largest =
+      std::max(largest_acked_, ack.largest_acked);
+
   // 1. Mark acked packets.
   for (const AckRange& range : ack.ranges) {
     auto it = packets_.lower_bound(range.lo);
@@ -90,11 +97,22 @@ AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
         out.spurious_loss_detected = true;
         if (config_.mode == LossDetectionMode::kAdaptiveNack) {
           const std::size_t observed_gap =
-              largest_acked_ > it->first
-                  ? static_cast<std::size_t>(largest_acked_ - it->first)
+              effective_largest > it->first
+                  ? static_cast<std::size_t>(effective_largest - it->first)
                   : nack_threshold_;
           nack_threshold_ = std::min(config_.max_nack_threshold,
                                      std::max(nack_threshold_, observed_gap + 1));
+        }
+        // The bytes were delivered: credit the CC (declare_lost already took
+        // them out of flight, so there is no second in-flight decrement) and
+        // hand the refs back so the queued retransmission is cancelled. The
+        // late sample is skipped for RTT: it measures the reordering detour,
+        // not the path.
+        out.acked.push_back({it->first, info.bytes, info.sent_time});
+        out.spurious_acked.push_back({it->first, info.bytes, info.sent_time});
+        out.largest_newly_acked = std::max(out.largest_newly_acked, it->first);
+        for (const StreamDataRef& ref : info.data) {
+          out.spurious_data.push_back(ref);
         }
         it = packets_.erase(it);
         continue;
@@ -115,7 +133,7 @@ AckProcessResult SentPacketManager::on_ack(const AckFrame& ack, TimePoint now,
       it = packets_.erase(it);
     }
   }
-  largest_acked_ = std::max(largest_acked_, ack.largest_acked);
+  largest_acked_ = effective_largest;
 
   // 2. Loss detection over remaining unacked packets below largest_acked.
   const Duration delay = loss_delay(rtt);
@@ -242,8 +260,13 @@ TimePoint SentPacketManager::oldest_in_flight_sent_time() const {
 }
 
 PacketNumber SentPacketManager::least_unacked() const {
+  // Declared-lost entries are deliberately kept until a late ACK can render
+  // a verdict (spurious or genuine). They are still unacked: advancing
+  // STOP_WAITING past them would make the peer purge exactly the ack ranges
+  // whose late arrival reveals the reordering, so the adaptive NACK
+  // threshold could never deepen.
   for (const auto& [pn, info] : packets_) {
-    if (info.in_flight) return pn;
+    if (info.in_flight || info.declared_lost) return pn;
   }
   return largest_sent_ + 1;
 }

@@ -59,6 +59,13 @@ struct AckProcessResult {
   std::vector<AckedPacket> acked;       // newly acked, for the CC
   std::vector<LostPacket> lost;         // newly declared lost, for the CC
   std::vector<StreamDataRef> lost_data; // stream data to retransmit
+  // Packets that had been declared lost but were acked after all: the loss
+  // was spurious. They also appear in `acked` (the bytes were delivered, so
+  // the CC must credit them); their stream data is listed in spurious_data
+  // so the connection can cancel the retransmission it queued at
+  // declare-lost time instead of double-sending.
+  std::vector<AckedPacket> spurious_acked;
+  std::vector<StreamDataRef> spurious_data;
   bool rtt_updated = false;
   bool spurious_loss_detected = false;  // a "lost" packet was acked late
   PacketNumber largest_newly_acked = 0;

@@ -102,6 +102,37 @@ void QuicStream::requeue(std::uint64_t offset, std::size_t len, bool fin) {
   retx_.push_back({offset, len, fin});
 }
 
+void QuicStream::cancel_retransmission(std::uint64_t offset, std::size_t len,
+                                       bool fin) {
+  const std::uint64_t lo = offset;
+  const std::uint64_t hi = offset + len;
+  std::vector<RetxRange> kept;
+  kept.reserve(retx_.size() + 1);
+  for (RetxRange r : retx_) {
+    if (fin && r.fin) r.fin = false;
+    const std::uint64_t r_lo = r.offset;
+    const std::uint64_t r_hi = r.offset + r.len;
+    const std::uint64_t cut_lo = std::max(lo, r_lo);
+    const std::uint64_t cut_hi = std::min(hi, r_hi);
+    if (cut_lo >= cut_hi) {  // no byte overlap
+      if (r.len > 0 || r.fin) kept.push_back(r);
+      continue;
+    }
+    if (r_lo < cut_lo) {
+      kept.push_back({r_lo, static_cast<std::size_t>(cut_lo - r_lo), false});
+    }
+    if (cut_hi < r_hi) {
+      kept.push_back({cut_hi, static_cast<std::size_t>(r_hi - cut_hi), r.fin});
+    } else if (r.fin) {
+      // Bytes fully cancelled but this range still owed a FIN.
+      kept.push_back({r_hi, 0, true});
+    }
+  }
+  retx_ = std::move(kept);
+  // The late packet delivered the FIN, so it no longer needs resending.
+  if (fin) fin_sent_ = true;
+}
+
 void QuicStream::on_window_update(std::uint64_t max_offset) {
   peer_max_offset_ = std::max(peer_max_offset_, max_offset);
 }

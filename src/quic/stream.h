@@ -56,6 +56,12 @@ class QuicStream {
                                       std::uint64_t conn_allowance);
   // Loss: schedule [offset, offset+len) (+fin) for retransmission.
   void requeue(std::uint64_t offset, std::size_t len, bool fin);
+  // A declared loss turned out spurious (the packet arrived late): drop any
+  // still-queued retransmission of [offset, offset+len), splitting ranges
+  // that only partially overlap. `fin` means the late packet delivered the
+  // FIN, so a queued FIN resend is redundant too. Already-retransmitted
+  // data is unaffected (the receiver discards duplicates).
+  void cancel_retransmission(std::uint64_t offset, std::size_t len, bool fin);
 
   // --- Peer flow control ---
   void on_window_update(std::uint64_t max_offset);

@@ -1,8 +1,17 @@
 #include "smi/inference.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace longlook::smi {
+
+namespace {
+// Round half-up at the rendered precision: a 0.999 transition probability
+// renders as 1, not the truncated 0.99, and 9.99% time-in-state as 10%.
+double round_to(double value, double scale) {
+  return std::floor(value * scale + 0.5) / scale;
+}
+}  // namespace
 
 Trace trace_from_tracker(const StateTracker& tracker, TimePoint start,
                          TimePoint end) {
@@ -27,6 +36,21 @@ Trace trace_from_bbr(const std::vector<BbrTransition>& transitions,
   trace.events.push_back({start, std::string(to_string(initial))});
   for (const auto& t : transitions) {
     trace.events.push_back({t.at, std::string(to_string(t.to))});
+  }
+  return trace;
+}
+
+Trace trace_from_obs(const std::vector<obs::StoredEvent>& events,
+                     TimePoint start, TimePoint end, std::string_view side) {
+  Trace trace;
+  trace.end = end;
+  for (const obs::StoredEvent& ev : events) {
+    if (ev.name != "cc:state") continue;
+    if (!side.empty() && ev.str("side") != side) continue;
+    if (trace.events.empty()) {
+      trace.events.push_back({start, std::string(ev.str("from"))});
+    }
+    trace.events.push_back({ev.at, std::string(ev.str("to"))});
   }
   return trace;
 }
@@ -122,12 +146,12 @@ std::string StateMachineInference::to_dot(const std::string& graph_name) const {
   os << "  rankdir=TB;\n  node [shape=ellipse, fontsize=11];\n";
   for (const auto& [state, count] : visit_counts_) {
     os << "  \"" << state << "\" [label=\"" << state << "\\n"
-       << static_cast<int>(time_fraction(state) * 1000) / 10.0
+       << round_to(time_fraction(state) * 100.0, 10.0)
        << "% of time\"];\n";
   }
   for (const Edge& e : edges()) {
     os << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
-       << static_cast<int>(e.probability * 100) / 100.0 << "\"];\n";
+       << round_to(e.probability, 100.0) << "\"];\n";
   }
   os << "}\n";
   return os.str();

@@ -15,6 +15,7 @@
 
 #include "cc/bbr_lite.h"
 #include "cc/state_tracker.h"
+#include "obs/trace.h"
 #include "util/time.h"
 
 namespace longlook::smi {
@@ -34,6 +35,13 @@ Trace trace_from_tracker(const StateTracker& tracker, TimePoint start,
                          TimePoint end);
 Trace trace_from_bbr(const std::vector<BbrTransition>& transitions,
                      TimePoint start, TimePoint end);
+// Adapter from the structured event stream (obs::RecordingSink): consumes
+// "cc:state" events, optionally restricted to one side ("client"/"server").
+// This is the general path — any instrumented sender that emits cc:state
+// events feeds inference without bespoke StateTracker plumbing.
+Trace trace_from_obs(const std::vector<obs::StoredEvent>& events,
+                     TimePoint start, TimePoint end,
+                     std::string_view side = {});
 
 class StateMachineInference {
  public:

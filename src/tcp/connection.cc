@@ -44,6 +44,7 @@ TcpConnection::TcpConnection(Simulator& sim, Host& host, TcpConfig config,
       delack_timer_(sim, [this] { on_delayed_ack_timer(); }),
       dupthresh_(config.dupthresh) {
   cc_ = std::make_unique<CubicSender>(rtt_, config_.make_cc_config());
+  if (config_.trace != nullptr) cc_->set_trace(config_.trace, side());
   app_recv_offset_ = config_.tls_enabled
                          ? (is_client ? kTlsClientInbound : kTlsServerInbound)
                          : 0;
@@ -94,6 +95,11 @@ void TcpConnection::maybe_fire_app_established() {
   if (app_established_) return;
   if (config_.tls_enabled && !tls_done_) return;
   app_established_ = true;
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("tcp:established", sim_.now())
+                        .s("side", side())
+                        .u("rtts", stats_.handshake_round_trips));
+  }
   if (on_established_) on_established_();
   try_send();
 }
@@ -314,6 +320,13 @@ void TcpConnection::send_segment_at(std::uint64_t offset, std::size_t len,
 
   const std::size_t in_flight_before = bytes_in_flight();
   cc_->on_packet_sent(now, meta.pn, len, in_flight_before);
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("tcp:segment_sent", now)
+                        .s("side", side())
+                        .u("off", offset)
+                        .u("len", len)
+                        .b("rtx", is_retx));
+  }
   if (is_retx) ++stats_.retransmitted_segments;
   segs_since_ack_ = 0;  // data segments carry an up-to-date ACK
   delack_timer_.cancel();
@@ -374,6 +387,11 @@ void TcpConnection::merge_sack(const std::vector<SackBlock>& blocks,
     if (config_.dsack_enabled && sim_.now() - last_rto_at_ > rto_guard) {
       dupthresh_ = std::min(config_.max_dupthresh, dupthresh_ + 2);
     }
+    if (trace() != nullptr) {
+      trace()->record(obs::TraceEvent("tcp:dsack", sim_.now())
+                          .s("side", side())
+                          .u("thresh", dupthresh_));
+    }
     i = 1;  // the DSACK block is a report, not receive-state
   }
   for (; i < blocks.size(); ++i) {
@@ -420,6 +438,11 @@ void TcpConnection::enter_recovery(TimePoint now, std::uint64_t hole_offset) {
   recovery_point_ = snd_nxt_;
   retx_next_ = snd_una_;
   ++stats_.fast_retransmits;
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("tcp:fast_retransmit", now)
+                        .s("side", side())
+                        .u("off", hole_offset));
+  }
   // Tell the CC which packet was lost (for recovery-epoch bookkeeping).
   PacketNumber pn = 0;
   if (auto it = in_flight_.find(hole_offset); it != in_flight_.end()) {
@@ -519,6 +542,13 @@ void TcpConnection::process_ack(const TcpSegment& seg, TimePoint now) {
 void TcpConnection::on_segment(const TcpSegment& seg, TimePoint now) {
   ++stats_.segments_received;
   last_rx_tsval_ = seg.ts_val;
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("tcp:segment_received", now)
+                        .s("side", side())
+                        .u("seq", seg.seq)
+                        .u("len", seg.payload.size())
+                        .u("ack", seg.ack));
+  }
 
   // Connection management.
   if (seg.syn && !seg.ack_flag) {
@@ -698,6 +728,11 @@ void TcpConnection::on_probe_timer() {
   if (state_ != State::kEstablished || snd_una_ >= snd_nxt_) return;
   ++probe_count_;
   ++stats_.tail_loss_probes;
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("tcp:tlp", sim_.now())
+                        .s("side", side())
+                        .i("n", probe_count_));
+  }
   std::uint64_t end = snd_una_ + config_.mss;
   end = std::min(end, snd_nxt_);
   for (const SackBlock& b : sacked_) {
@@ -724,6 +759,11 @@ void TcpConnection::on_rto() {
   ++stats_.rto_count;
   ++consecutive_rto_;
   last_rto_at_ = now;
+  if (trace() != nullptr) {
+    trace()->record(obs::TraceEvent("tcp:rto", now)
+                        .s("side", side())
+                        .i("n", consecutive_rto_));
+  }
   cc_->on_retransmission_timeout(now);
   // SACK-preserving RTO (RFC 6675 style): everything unSACKed below snd_nxt
   // is presumed lost and retransmitted hole-by-hole; SACKed data is never

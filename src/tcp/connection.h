@@ -20,6 +20,7 @@
 #include "cc/cubic_sender.h"
 #include "cc/rtt_estimator.h"
 #include "net/host.h"
+#include "obs/trace.h"
 #include "sim/timer.h"
 #include "tcp/segment.h"
 
@@ -42,6 +43,9 @@ struct TcpConfig {
   bool tls_enabled = true;  // TLS 1.2 model: 2 RTT before app data
   Duration delayed_ack_timeout = milliseconds(40);
   std::size_t ack_every_n = 2;
+  // Structured event tracing (docs/trace_schema.md). Null disables; the sink
+  // must outlive the connection. Not owned.
+  obs::TraceSink* trace = nullptr;
 
   CubicSenderConfig make_cc_config() const;
 };
@@ -151,6 +155,11 @@ class TcpConnection {
   void arm_probe_timer();
   void on_probe_timer();
   void on_delayed_ack_timer();
+
+  // Structured-trace helpers: sink pointer (null == disabled) and the
+  // constant "side" tag for this endpoint's events.
+  obs::TraceSink* trace() const { return config_.trace; }
+  const char* side() const { return is_client_ ? "client" : "server"; }
 
   Simulator& sim_;
   Host& host_;

@@ -1,0 +1,338 @@
+// Tests for the structured-trace observability layer: JSON-lines rendering,
+// metrics aggregation, the recording sink, schema conformance of real
+// QUIC/TCP run artifacts, and byte-identity of traced sweeps at any worker
+// count (the property the parallel sweep engine guarantees for stdout,
+// extended here to trace artifacts).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/compare.h"
+#include "harness/runner.h"
+#include "harness/testbed.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "smi/inference.h"
+
+namespace longlook {
+namespace {
+
+namespace fs = std::filesystem;
+using harness::CellResult;
+using harness::CompareOptions;
+using harness::RunObserver;
+using harness::Scenario;
+using harness::SweepRunner;
+using harness::Workload;
+
+TimePoint at_ms(int ms) { return TimePoint{} + milliseconds(ms); }
+
+// --- JsonLinesSink -------------------------------------------------------
+
+TEST(JsonLinesSink, RendersOneObjectPerLineInEmissionOrder) {
+  obs::JsonLinesSink sink;
+  sink.record(obs::TraceEvent("quic:packet_sent", at_ms(1))
+                  .s("side", "client")
+                  .u("pn", 7)
+                  .u("bytes", 1378)
+                  .b("rtxable", true));
+  sink.record(obs::TraceEvent("quic:rto", at_ms(2)).i("n", -1));
+  EXPECT_EQ(sink.line_count(), 2u);
+  EXPECT_EQ(sink.text(),
+            "{\"t\":1000000,\"ev\":\"quic:packet_sent\",\"side\":\"client\","
+            "\"pn\":7,\"bytes\":1378,\"rtxable\":true}\n"
+            "{\"t\":2000000,\"ev\":\"quic:rto\",\"n\":-1}\n");
+}
+
+TEST(JsonLinesSink, EscapesStrings) {
+  obs::JsonLinesSink sink;
+  sink.record(obs::TraceEvent("x", TimePoint{}).s("k", "a\"b\\c\nd"));
+  EXPECT_EQ(sink.text(), "{\"t\":0,\"ev\":\"x\",\"k\":\"a\\\"b\\\\c\\nd\"}\n");
+}
+
+TEST(JsonLinesSink, WriteFileRoundTrips) {
+  obs::JsonLinesSink sink;
+  sink.record(obs::TraceEvent("e", at_ms(3)).u("v", 42));
+  const std::string path =
+      (fs::temp_directory_path() / "ll_obs_write_test.jsonl").string();
+  ASSERT_TRUE(sink.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), sink.text());
+  fs::remove(path);
+}
+
+// --- RecordingSink -------------------------------------------------------
+
+TEST(RecordingSink, DeepCopiesFieldsForLookup) {
+  obs::RecordingSink rec;
+  {
+    // Strings go out of scope after record(): the sink must have copied.
+    std::string side = "server";
+    rec.record(obs::TraceEvent("cc:state", at_ms(9))
+                   .s("side", side)
+                   .s("to", "Recovery")
+                   .u("cwnd", 14520));
+  }
+  ASSERT_EQ(rec.events().size(), 1u);
+  const obs::StoredEvent& ev = rec.events()[0];
+  EXPECT_EQ(ev.name, "cc:state");
+  EXPECT_EQ(ev.at, at_ms(9));
+  EXPECT_EQ(ev.str("side"), "server");
+  EXPECT_EQ(ev.str("to"), "Recovery");
+  EXPECT_EQ(ev.uint("cwnd"), 14520u);
+  EXPECT_TRUE(ev.has("cwnd"));
+  EXPECT_FALSE(ev.has("missing"));
+  EXPECT_EQ(ev.str("missing"), "");
+  EXPECT_EQ(ev.uint("missing"), 0u);
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+TEST(MetricsRegistry, MergeSumsCountersAndOverwritesGauges) {
+  obs::MetricsRegistry a;
+  a.incr("quic.packets_sent", 10);
+  a.set_gauge("quic.final_cwnd", 100);
+  obs::MetricsRegistry b;
+  b.incr("quic.packets_sent", 5);
+  b.incr("tcp.segments_sent", 3);
+  b.set_gauge("quic.final_cwnd", 250);
+  a.merge(b);
+  EXPECT_EQ(a.counter("quic.packets_sent"), 15u);
+  EXPECT_EQ(a.counter("tcp.segments_sent"), 3u);
+  EXPECT_EQ(a.gauges().at("quic.final_cwnd"), 250);
+  EXPECT_EQ(a.to_json(),
+            "{\"quic.final_cwnd\":250,\"quic.packets_sent\":15,"
+            "\"tcp.segments_sent\":3}");
+}
+
+TEST(MetricsRegistry, RecordToEmitsFooterEvent) {
+  obs::MetricsRegistry m;
+  m.incr("runs");
+  obs::RecordingSink rec;
+  m.record_to(rec, at_ms(50));
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].name, "run:metrics");
+  EXPECT_EQ(rec.events()[0].uint("runs"), 1u);
+}
+
+// --- Schema conformance of real run artifacts ----------------------------
+
+// Minimal structural check for one JSON line: object braces, a leading
+// integer "t", a string "ev", and sane quoting. (Not a full JSON parser —
+// the writer only ever emits flat objects of integers/bools/strings.)
+void expect_schema_line(const std::string& line) {
+  ASSERT_GE(line.size(), 2u) << line;
+  EXPECT_EQ(line.front(), '{') << line;
+  EXPECT_EQ(line.back(), '}') << line;
+  EXPECT_EQ(line.rfind("{\"t\":", 0), 0u) << line;
+  EXPECT_NE(line.find(",\"ev\":\""), std::string::npos) << line;
+  std::size_t quotes = 0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0u) << line;
+}
+
+std::string event_name(const std::string& line) {
+  const std::size_t start = line.find(",\"ev\":\"");
+  if (start == std::string::npos) return "";
+  const std::size_t lo = start + 7;
+  return line.substr(lo, line.find('"', lo) - lo);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+Scenario lossy_scenario() {
+  Scenario s;
+  s.name = "obs-golden";
+  s.rate_bps = 10'000'000;
+  s.loss_rate = 0.01;
+  s.seed = 42;
+  return s;
+}
+
+TEST(TraceSchema, QuicRunEmitsDocumentedEventsAndIsDeterministic) {
+  const Workload workload{4, 128 * 1024};
+  const CompareOptions opts;
+  Scenario scenario = lossy_scenario();
+  scenario.loss_rate = 0.03;  // enough transfer + loss to exercise recovery
+  std::string first_text;
+  for (int rep = 0; rep < 2; ++rep) {
+    obs::JsonLinesSink sink;
+    obs::MetricsRegistry metrics;
+    RunObserver observer{&sink, &metrics, "quic."};
+    quic::TokenCache tokens;
+    const auto plt =
+        run_quic_page_load(scenario, workload, opts, tokens, &observer);
+    ASSERT_TRUE(plt.has_value());
+    const std::vector<std::string> lines = split_lines(sink.text());
+    ASSERT_GT(lines.size(), 10u);
+    std::set<std::string> names;
+    for (const std::string& line : lines) {
+      expect_schema_line(line);
+      names.insert(event_name(line));
+    }
+    // The lifecycle events a QUIC page load must produce.
+    EXPECT_EQ(event_name(lines.front()), "run:start");
+    EXPECT_EQ(event_name(lines.back()), "run:metrics");
+    for (const char* required :
+         {"quic:handshake", "quic:established", "quic:stream_opened",
+          "quic:packet_sent", "quic:packet_received", "quic:ack_processed",
+          "quic:stream_fin", "run:summary"}) {
+      EXPECT_TRUE(names.count(required)) << "missing event: " << required;
+    }
+    // 1% loss at this size: losses occur and the sender reacts.
+    EXPECT_TRUE(names.count("quic:packet_lost") ||
+                names.count("quic:rto") || names.count("quic:tlp"));
+    EXPECT_GT(metrics.counter("quic.packets_sent"), 0u);
+    EXPECT_EQ(metrics.counter("quic.runs"), 1u);
+    // Virtual time + integer fields: the artifact is byte-stable.
+    if (rep == 0) first_text = sink.text();
+    else EXPECT_EQ(sink.text(), first_text);
+  }
+}
+
+TEST(TraceSchema, TcpRunEmitsDocumentedEvents) {
+  const Workload workload{2, 64 * 1024};
+  const CompareOptions opts;
+  obs::JsonLinesSink sink;
+  obs::MetricsRegistry metrics;
+  RunObserver observer{&sink, &metrics, "tcp."};
+  const auto plt =
+      run_tcp_page_load(lossy_scenario(), workload, opts, &observer);
+  ASSERT_TRUE(plt.has_value());
+  std::set<std::string> names;
+  const std::vector<std::string> lines = split_lines(sink.text());
+  for (const std::string& line : lines) {
+    expect_schema_line(line);
+    names.insert(event_name(line));
+  }
+  EXPECT_EQ(event_name(lines.front()), "run:start");
+  for (const char* required :
+       {"tcp:established", "tcp:segment_sent", "tcp:segment_received",
+        "run:summary", "run:metrics"}) {
+    EXPECT_TRUE(names.count(required)) << "missing event: " << required;
+  }
+  EXPECT_GT(metrics.counter("tcp.segments_sent"), 0u);
+}
+
+TEST(TraceSchema, CcStateEventsFeedSmiInference) {
+  const Workload workload{1, 512 * 1024};
+  const CompareOptions opts;
+  obs::RecordingSink rec;
+  RunObserver observer{&rec, nullptr, ""};
+  quic::TokenCache tokens;
+  Scenario s = lossy_scenario();
+  s.loss_rate = 0.02;
+  const auto plt = run_quic_page_load(s, workload, opts, tokens, &observer);
+  ASSERT_TRUE(plt.has_value());
+  const smi::Trace trace = smi::trace_from_obs(
+      rec.events(), TimePoint{}, rec.events().back().at, "server");
+  ASSERT_GE(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[0].state, "Init");
+  smi::StateMachineInference inf;
+  inf.add_trace(trace);
+  EXPECT_GT(inf.visits("SlowStart"), 0u);
+}
+
+// --- Sweep artifacts: byte-identical at any LL_JOBS ----------------------
+
+// File names carry a process-wide submission-order cell id ("c<N>_"). Two
+// runners in the same test process keep counting (c0..., c1...), whereas two
+// bench processes both start at c0 — so here the id prefix is stripped
+// before comparing. The CI bench-smoke step diffs full names across
+// processes.
+std::map<std::string, std::string> slurp_artifacts(const std::string& dir) {
+  std::map<std::string, std::string> by_name;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() > 1 && name[0] == 'c') {
+      std::size_t i = 1;
+      while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) ++i;
+      if (i < name.size() && name[i] == '_') name = name.substr(i + 1);
+    }
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    by_name[name] = ss.str();
+  }
+  return by_name;
+}
+
+TEST(TraceSweep, ArtifactsAndMetricsByteIdenticalSerialVsParallel) {
+  const std::string base =
+      (fs::temp_directory_path() / "ll_obs_sweep_test").string();
+  const std::string serial_dir = base + "/serial";
+  const std::string parallel_dir = base + "/parallel";
+  fs::remove_all(base);
+
+  Scenario s = lossy_scenario();
+  s.name = "sweep-identity";
+  const Workload workload{1, 32 * 1024};
+
+  CellResult serial_cell;
+  {
+    CompareOptions opts;
+    opts.rounds = 4;
+    opts.trace_dir = serial_dir;
+    SweepRunner runner(1);
+    compare_plt_async(runner, s, workload, opts, &serial_cell);
+    runner.wait_all();
+  }
+  CellResult parallel_cell;
+  {
+    CompareOptions opts;
+    opts.rounds = 4;
+    opts.trace_dir = parallel_dir;
+    SweepRunner runner(8);
+    compare_plt_async(runner, s, workload, opts, &parallel_cell);
+    runner.wait_all();
+  }
+
+  const auto serial_files = slurp_artifacts(serial_dir);
+  const auto parallel_files = slurp_artifacts(parallel_dir);
+  EXPECT_EQ(serial_files.size(), 8u);  // 4 rounds x {quic, tcp}
+  ASSERT_EQ(serial_files.size(), parallel_files.size());
+  for (const auto& [name, content] : serial_files) {
+    auto it = parallel_files.find(name);
+    ASSERT_NE(it, parallel_files.end()) << "missing artifact: " << name;
+    EXPECT_EQ(content, it->second) << "artifact differs: " << name;
+  }
+  EXPECT_EQ(serial_cell.metrics.to_json(), parallel_cell.metrics.to_json());
+  EXPECT_FALSE(serial_cell.metrics.empty());
+  EXPECT_EQ(serial_cell.metrics.counter("quic.runs"), 4u);
+  EXPECT_EQ(serial_cell.metrics.counter("tcp.runs"), 4u);
+  fs::remove_all(base);
+}
+
+TEST(TraceSweep, UntracedSweepPopulatesMetricsOnly) {
+  Scenario s = lossy_scenario();
+  const Workload workload{1, 32 * 1024};
+  CompareOptions opts;
+  opts.rounds = 2;
+  CellResult cell;
+  SweepRunner runner(2);
+  compare_plt_async(runner, s, workload, opts, &cell);
+  runner.wait_all();
+  EXPECT_FALSE(cell.metrics.empty());
+  EXPECT_EQ(cell.metrics.counter("quic.runs"), 2u);
+  EXPECT_GT(cell.metrics.counter("quic.packets_sent"), 0u);
+  EXPECT_GT(cell.metrics.counter("tcp.segments_sent"), 0u);
+}
+
+}  // namespace
+}  // namespace longlook

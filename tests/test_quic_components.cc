@@ -180,6 +180,74 @@ TEST(SentPacketManager, LateAckRevealsSpuriousLoss) {
   EXPECT_EQ(spm.total_spurious_losses(), 1u);
 }
 
+// Regression: a late ACK of a declared-lost packet used to erase the entry
+// without crediting the CC or returning the stream refs, so the connection
+// both under-counted delivered bytes and double-sent the queued
+// retransmission. The spuriously-acked packet must appear in `acked` (CC
+// credit) and its data in `spurious_data` (cancel the queued resend).
+TEST(SentPacketManager, SpuriousAckCreditsCcAndReturnsDataForCancel) {
+  SentPacketManager spm(LossDetectionConfig{});
+  RttEstimator rtt;
+  for (PacketNumber pn = 1; pn <= 5; ++pn) {
+    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true,
+                       {data_ref(3, (pn - 1) * 1000, 1000)});
+  }
+  const auto first = spm.on_ack(simple_ack(4, {{2, 4}}), at_ms(50), rtt);
+  ASSERT_EQ(first.lost.size(), 1u);  // packet 1 declared lost
+  // Packet 1's data arrives after all.
+  const auto second = spm.on_ack(simple_ack(4, {{1, 4}}), at_ms(60), rtt);
+  EXPECT_TRUE(second.spurious_loss_detected);
+  ASSERT_EQ(second.acked.size(), 1u);
+  EXPECT_EQ(second.acked[0].packet_number, 1u);
+  EXPECT_EQ(second.acked[0].bytes, 1000u);  // CC gets the delivered bytes
+  ASSERT_EQ(second.spurious_acked.size(), 1u);
+  EXPECT_EQ(second.spurious_acked[0].packet_number, 1u);
+  ASSERT_EQ(second.spurious_data.size(), 1u);
+  EXPECT_EQ(second.spurious_data[0].stream_id, 3u);
+  EXPECT_EQ(second.spurious_data[0].offset, 0u);
+  EXPECT_EQ(second.spurious_data[0].len, 1000u);
+  EXPECT_EQ(second.largest_newly_acked, 1u);
+}
+
+// Regression: least_unacked() used to skip declared-lost entries, so the
+// STOP_WAITING floor advanced past them and the peer purged exactly the ack
+// ranges that would have revealed the loss as spurious.
+TEST(SentPacketManager, LeastUnackedIncludesDeclaredLost) {
+  SentPacketManager spm(LossDetectionConfig{});
+  RttEstimator rtt;
+  for (PacketNumber pn = 1; pn <= 5; ++pn) {
+    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+  }
+  const auto result = spm.on_ack(simple_ack(4, {{2, 4}}), at_ms(50), rtt);
+  ASSERT_EQ(result.lost.size(), 1u);  // packet 1 declared lost, entry kept
+  // Packet 1 is still awaited (its late ack reveals the spurious loss), so
+  // it must anchor the STOP_WAITING floor. The pre-fix code skipped it and
+  // returned 5.
+  EXPECT_EQ(spm.least_unacked(), 1u);
+  // Once the late ack lands, the floor advances normally.
+  (void)spm.on_ack(simple_ack(4, {{1, 4}}), at_ms(60), rtt);
+  EXPECT_EQ(spm.least_unacked(), 5u);
+}
+
+// Regression: the adaptive-NACK deepening used the pre-ack largest_acked_,
+// understating the observed reordering depth when the revealing ACK itself
+// carries a new maximum.
+TEST(SentPacketManager, AdaptiveThresholdSeesRevealingAcksOwnLargest) {
+  LossDetectionConfig cfg;
+  cfg.mode = LossDetectionMode::kAdaptiveNack;
+  SentPacketManager spm(cfg);
+  RttEstimator rtt;
+  for (PacketNumber pn = 1; pn <= 10; ++pn) {
+    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+  }
+  (void)spm.on_ack(simple_ack(8, {{2, 8}}), at_ms(50), rtt);  // pn 1 lost
+  // The late ack of pn 1 arrives in the same frame that first acks 9..10:
+  // observed depth is 10 - 1 = 9 against the frame's own largest, not
+  // 8 - 1 = 7 against the stale member.
+  (void)spm.on_ack(simple_ack(10, {{9, 10}, {1, 1}}), at_ms(60), rtt);
+  EXPECT_GT(spm.current_nack_threshold(), 9u);
+}
+
 TEST(SentPacketManager, AdaptiveModeRaisesThresholdAfterSpurious) {
   LossDetectionConfig cfg;
   cfg.mode = LossDetectionMode::kAdaptiveNack;
@@ -253,6 +321,35 @@ TEST(SentPacketManager, LeastUnackedSkipsAcked) {
   }
   (void)spm.on_ack(simple_ack(1, {{1, 1}}), at_ms(40), rtt);
   EXPECT_EQ(spm.least_unacked(), 2u);
+}
+
+// Regression (sender + receiver together): with the old least_unacked()
+// skipping declared-lost packets, the STOP_WAITING floor jumped past the
+// hole, the receiver purged the revealing ranges, and a reordered packet
+// could never be recognised as a spurious loss.
+TEST(SentPacketManager, ReorderedPacketPastStopWaitingStillRevealsSpurious) {
+  SentPacketManager spm(LossDetectionConfig{});
+  AckManager am;
+  RttEstimator rtt;
+  for (PacketNumber pn = 1; pn <= 5; ++pn) {
+    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+  }
+  // Packet 1 is reordered in the network; 2..5 arrive first.
+  for (PacketNumber pn = 2; pn <= 5; ++pn) {
+    am.on_packet_received(at_ms(static_cast<int>(pn) + 10), pn, true);
+  }
+  const auto first = spm.on_ack(am.build_ack(at_ms(20)), at_ms(20), rtt);
+  ASSERT_EQ(first.lost.size(), 1u);  // packet 1 declared lost
+  // Sender emits STOP_WAITING with its current floor. Because packet 1 is
+  // declared-lost-but-awaited, the floor must still be 1 — the pre-fix
+  // floor of 6 made the receiver forget the 2..5 ranges, so the late
+  // packet 1 produced an ack that never revealed the spurious loss.
+  am.on_stop_waiting(spm.least_unacked());
+  // The wandering packet finally lands.
+  am.on_packet_received(at_ms(40), 1, true);
+  const auto second = spm.on_ack(am.build_ack(at_ms(41)), at_ms(41), rtt);
+  EXPECT_TRUE(second.spurious_loss_detected);
+  EXPECT_EQ(spm.total_spurious_losses(), 1u);
 }
 
 // --- QuicStream ---------------------------------------------------------------
@@ -342,6 +439,44 @@ TEST(QuicStream, RetransmissionSplitsAcrossChunks) {
   EXPECT_EQ(r2->offset, 1350u);
   EXPECT_EQ(r3->offset, 2700u);
   EXPECT_EQ(r3->data.size(), 300u);
+}
+
+TEST(QuicStream, CancelRetransmissionDropsQueuedRange) {
+  QuicStream s(3, 1 << 20, 1 << 20);
+  s.write(make_bytes(2000), false);
+  (void)s.take_chunk(2000, 1 << 20);
+  s.requeue(0, 1000, false);
+  ASSERT_TRUE(s.has_retransmission_data());
+  s.cancel_retransmission(0, 1000, false);  // the "lost" packet arrived late
+  EXPECT_FALSE(s.has_retransmission_data());
+  EXPECT_FALSE(s.has_pending_data());
+}
+
+TEST(QuicStream, CancelRetransmissionSplitsPartialOverlap) {
+  QuicStream s(3, 1 << 20, 1 << 20);
+  s.write(make_bytes(3000), false);
+  (void)s.take_chunk(3000, 1 << 20);
+  s.requeue(0, 3000, false);
+  // Only the middle third arrived late: the flanks must stay queued.
+  s.cancel_retransmission(1000, 1000, false);
+  auto r1 = s.take_chunk(1350, 1 << 20);
+  ASSERT_TRUE(r1);
+  EXPECT_EQ(r1->offset, 0u);
+  EXPECT_EQ(r1->data.size(), 1000u);
+  auto r2 = s.take_chunk(1350, 1 << 20);
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->offset, 2000u);
+  EXPECT_EQ(r2->data.size(), 1000u);
+  EXPECT_FALSE(s.has_retransmission_data());
+}
+
+TEST(QuicStream, CancelRetransmissionClearsQueuedFin) {
+  QuicStream s(3, 1 << 20, 1 << 20);
+  s.write(make_bytes(500), true);
+  (void)s.take_chunk(1350, 1 << 20);
+  s.requeue(0, 500, true);
+  s.cancel_retransmission(0, 500, true);  // late packet delivered the FIN too
+  EXPECT_FALSE(s.has_pending_data());
 }
 
 TEST(QuicStream, InOrderDeliveryAndFin) {

@@ -85,6 +85,50 @@ TEST(Inference, DotOutputContainsNodesAndEdges) {
   EXPECT_NE(dot.find("\"SlowStart\" -> \"Recovery\""), std::string::npos);
 }
 
+// Regression: to_dot used to truncate instead of rounding half-up, printing
+// 9.99%-of-time as "9.9%" and a 2/3 edge probability as "0.66".
+TEST(Inference, DotOutputRoundsHalfUp) {
+  StateMachineInference inf;
+  // A holds for 999 of 10000 ms = 9.99% -> one decimal place -> "10".
+  inf.add_trace(make_trace({{0, "A"}, {999, "B"}}, 10000));
+  const std::string dot = inf.to_dot("round");
+  EXPECT_NE(dot.find("\"A\" [label=\"A\\n10% of time\"]"), std::string::npos)
+      << dot;
+
+  StateMachineInference edges;
+  // A -> B twice, A -> C once: probability 2/3 -> "0.67", 1/3 -> "0.33".
+  edges.add_trace(make_trace({{0, "A"}, {10, "B"}, {20, "A"}, {30, "B"}}, 40));
+  edges.add_trace(make_trace({{0, "A"}, {10, "C"}}, 20));
+  const std::string d2 = edges.to_dot("probs");
+  EXPECT_NE(d2.find("\"A\" -> \"B\" [label=\"0.67\"]"), std::string::npos)
+      << d2;
+  EXPECT_NE(d2.find("\"A\" -> \"C\" [label=\"0.33\"]"), std::string::npos)
+      << d2;
+}
+
+TEST(Inference, TraceFromObsEventsFiltersBySide) {
+  obs::RecordingSink rec;
+  rec.record(obs::TraceEvent("cc:state", TimePoint{} + milliseconds(5))
+                 .s("side", "server")
+                 .s("from", "SlowStart")
+                 .s("to", "Recovery"));
+  rec.record(obs::TraceEvent("quic:packet_sent", TimePoint{} + milliseconds(6))
+                 .s("side", "server")
+                 .u("pn", 1));  // non-state event: ignored
+  rec.record(obs::TraceEvent("cc:state", TimePoint{} + milliseconds(9))
+                 .s("side", "client")
+                 .s("from", "SlowStart")
+                 .s("to", "CongestionAvoidance"));  // other side: filtered
+  const Trace t = trace_from_obs(rec.events(), TimePoint{},
+                                 TimePoint{} + milliseconds(20), "server");
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].state, "SlowStart");  // synthesised initial state
+  EXPECT_EQ(t.events[0].at, TimePoint{});
+  EXPECT_EQ(t.events[1].state, "Recovery");
+  EXPECT_EQ(t.events[1].at, TimePoint{} + milliseconds(5));
+  EXPECT_EQ(t.end, TimePoint{} + milliseconds(20));
+}
+
 TEST(Inference, TrackerAdapterIncludesInitialState) {
   StateTracker tracker(CcState::kInit);
   tracker.transition(TimePoint{} + milliseconds(5), CcState::kSlowStart);

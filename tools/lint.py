@@ -19,6 +19,12 @@ lint bans the hazards that silently break that property:
   uninitialized-pod     POD member/variable declarations with no
                         initializer; reads before first write are UB and
                         run-to-run dependent.
+  direct-io             printf/puts/fwrite/std::cout in the transport and
+                        link layers (src/{quic,tcp,cc,net}): those layers
+                        must report through the obs:: trace/metrics sinks,
+                        never by writing to stdio — ad-hoc prints corrupt
+                        bench stdout (which is diffed byte-for-byte) and
+                        bypass the structured artifacts.
 
 False positives go in tools/lint_allowlist.txt as
     <rule> <path-substring> [<line-content-substring>]
@@ -35,6 +41,14 @@ from pathlib import Path
 # traces, inferred state machines): unordered containers are banned outright
 # there, not just their iteration.
 ORDER_SENSITIVE_PATHS = ("harness/", "net/trace", "stats/", "smi/")
+
+# Layers that must emit through obs:: sinks instead of writing to stdio.
+SINK_ENFORCED_PATHS = ("quic/", "tcp/", "cc/", "net/")
+
+DIRECT_IO = re.compile(
+    r"\bf?printf\s*\(|\bfputs\s*\(|\bfputc\s*\(|\bputs\s*\("
+    r"|\bfwrite\s*\(|std::c(?:out|err|log)\b"
+)
 
 POD_TYPES = (
     r"(?:bool|char|short|int|long|float|double|unsigned(?:\s+(?:char|short|int|long))?"
@@ -145,10 +159,20 @@ def strip_comments(text: str) -> str:
 def lint_file(path: Path, rel: str, entries, findings):
     text = strip_comments(path.read_text())
     order_sensitive = any(frag in rel for frag in ORDER_SENSITIVE_PATHS)
+    sink_enforced = any(frag in rel for frag in SINK_ENFORCED_PATHS)
     for lineno, line in enumerate(text.splitlines(), start=1):
         for rule, pattern, message in LINE_RULES:
             if pattern.search(line) and not allowed(entries, rule, rel, line):
                 findings.append((rel, lineno, rule, message, line.strip()))
+        if sink_enforced and DIRECT_IO.search(line):
+            rule = "direct-io"
+            if not allowed(entries, rule, rel, line):
+                findings.append((
+                    rel, lineno, rule,
+                    "direct stdio in a sink-enforced layer "
+                    "(emit obs:: trace events / metrics instead)",
+                    line.strip(),
+                ))
         if order_sensitive and "std::unordered_" in line:
             rule = "unordered-in-report"
             if not allowed(entries, rule, rel, line):

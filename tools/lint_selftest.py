@@ -31,6 +31,7 @@ EXPECTED_BAD = {
     "unordered-in-report": 1,  # fixture path contains "harness/"
     "pointer-keyed-map": 2,
     "uninitialized-pod": 2,
+    "direct-io": 3,  # fixture path contains "cc/"
 }
 
 
