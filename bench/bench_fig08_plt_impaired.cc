@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
 
   struct Panel {
     const char* name;
-    double loss;
-    Duration extra;
+    double loss = 0.0;
+    Duration extra{};
   };
   const Panel panels[] = {
       {"0.1%% loss", 0.001, kNoDuration},
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       s.extra_rtt = p.extra;
       return s;
     };
-    char title[128];
+    char title[128] = {};
     std::snprintf(title, sizeof title, "Fig. 8 (%s): single object, varying size",
                   p.name);
     longlook::bench::run_heatmap(title, longlook::bench::paper_rates_bps(),

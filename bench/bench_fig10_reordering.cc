@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   struct Variant {
     std::string label;
     quic::LossDetectionMode mode;
-    std::size_t threshold;
+    std::size_t threshold = 0;
   };
   const std::vector<Variant> variants = {
       {"QUIC NACK=3 (default)", quic::LossDetectionMode::kFixedNack, 3},

@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
 
   struct Panel {
     const char* name;
-    double loss;
-    Duration extra;
+    double loss = 0.0;
+    Duration extra{};
   };
   const Panel panels[] = {
       {"no added impairment", 0.0, kNoDuration},
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
           tb.sim(), tb.mid_host(), kProxyPort, tb.server_host().address(),
           kTcpPort, leg);
     };
-    char title[96];
+    char title[96] = {};
     std::snprintf(title, sizeof title, "Fig. 17 (%s): QUIC vs proxied TCP",
                   p.name);
     longlook::bench::run_heatmap(title, longlook::bench::paper_rates_bps(),

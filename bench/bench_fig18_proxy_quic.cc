@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
       for (const auto& cell : grid_row) row.push_back(to_heatmap_cell(cell));
       cells.push_back(std::move(row));
     }
-    char title[96];
+    char title[96] = {};
     std::snprintf(title, sizeof title,
                   "Fig. 18 (loss=%.1f%%): direct QUIC vs proxied QUIC "
                   "(+ = direct faster)",

@@ -16,7 +16,7 @@ int default_job_count() {
 }
 
 void ProgressReporter::tick() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++ticks_;
   if (out_ != nullptr) {
     std::fputc('.', out_);
@@ -25,7 +25,7 @@ void ProgressReporter::tick() {
 }
 
 void ProgressReporter::finish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (finished_) return;
   finished_ = true;
   if (out_ != nullptr) {
@@ -35,7 +35,7 @@ void ProgressReporter::finish() {
 }
 
 std::size_t ProgressReporter::ticks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return ticks_;
 }
 
@@ -49,7 +49,7 @@ SweepRunner::SweepRunner(int jobs) {
 
 SweepRunner::~SweepRunner() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
     // Abandon everything not yet running; running jobs finish normally.
     ready_.clear();
@@ -71,7 +71,7 @@ SweepRunner::Ticket SweepRunner::submit(std::function<void()> fn,
                                         const std::vector<Ticket>& deps) {
   Ticket t = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     LL_CHECK(!stopping_) << "submit on a stopping SweepRunner";
     t = next_ticket_++;
     Job& job = jobs_[t];
@@ -111,9 +111,12 @@ SweepRunner::Ticket SweepRunner::submit(std::function<void()> fn,
 }
 
 void SweepRunner::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    // Explicit predicate loop: the guarded reads stay inside the annotated
+    // critical section (a wait-with-predicate lambda would not be analyzed
+    // with mu_ held).
+    while (!stopping_ && ready_.empty()) work_cv_.wait(lock);
     if (ready_.empty()) {
       if (stopping_) return;
       continue;
@@ -184,8 +187,8 @@ void SweepRunner::settle_locked(Ticket t, JobState state,
 }
 
 void SweepRunner::wait_all() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return unsettled_ == 0; });
+  util::MutexLock lock(mu_);
+  while (unsettled_ != 0) done_cv_.wait(lock);
   for (auto& [t, job] : jobs_) {
     if (job.state == JobState::kFailed && job.error) {
       std::exception_ptr error = job.error;
@@ -196,17 +199,17 @@ void SweepRunner::wait_all() {
 }
 
 std::size_t SweepRunner::submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return jobs_.size();
 }
 
 std::size_t SweepRunner::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return completed_;
 }
 
 std::size_t SweepRunner::abandoned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return abandoned_;
 }
 

@@ -22,11 +22,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
-#include <condition_variable>
+#include "util/thread_annotations.h"
 
 namespace longlook::harness {
 
@@ -50,10 +49,12 @@ class ProgressReporter {
   std::size_t ticks() const;
 
  private:
-  std::FILE* out_ = nullptr;
-  mutable std::mutex mu_;
-  std::size_t ticks_ = 0;
-  bool finished_ = false;
+  mutable util::Mutex mu_;
+  // The stream is guarded too: ticks must not interleave mid-byte with the
+  // final newline, and fputc/fflush pairs stay atomic per mark.
+  std::FILE* out_ LL_GUARDED_BY(mu_) = nullptr;
+  std::size_t ticks_ LL_GUARDED_BY(mu_) = 0;
+  bool finished_ LL_GUARDED_BY(mu_) = false;
 };
 
 class SweepRunner {
@@ -102,19 +103,23 @@ class SweepRunner {
   void worker_loop();
   // Called with mu_ held: settle a finished/abandoned job and release or
   // abandon its dependents.
-  void settle_locked(Ticket t, JobState state, std::exception_ptr error);
-  bool all_settled_locked() const;
+  void settle_locked(Ticket t, JobState state, std::exception_ptr error)
+      LL_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: ready job or stop
-  std::condition_variable done_cv_;  // waiters: a job settled
-  std::map<Ticket, Job> jobs_;       // ordered: wait_all scans in ticket order
-  std::deque<Ticket> ready_;         // FIFO dispatch
-  Ticket next_ticket_ = 1;
-  std::size_t unsettled_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t abandoned_ = 0;
-  bool stopping_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  // workers: ready job or stop
+  util::CondVar done_cv_;  // waiters: a job settled
+  // Ordered: wait_all scans in ticket order.
+  std::map<Ticket, Job> jobs_ LL_GUARDED_BY(mu_);
+  std::deque<Ticket> ready_ LL_GUARDED_BY(mu_);  // FIFO dispatch
+  Ticket next_ticket_ LL_GUARDED_BY(mu_) = 1;
+  std::size_t unsettled_ LL_GUARDED_BY(mu_) = 0;
+  std::size_t completed_ LL_GUARDED_BY(mu_) = 0;
+  std::size_t abandoned_ LL_GUARDED_BY(mu_) = 0;
+  bool stopping_ LL_GUARDED_BY(mu_) = false;
+  // ll-analysis: allow(missing-lock-annotation) workers_ is written only by
+  // the constructor and joined by the destructor, strictly before/after any
+  // worker exists; jobs() reads only its immutable size.
   std::vector<std::thread> workers_;
 };
 

@@ -4,12 +4,47 @@
 
 namespace longlook::obs {
 
-void MetricsRegistry::merge(const MetricsRegistry& other) {
+// Copy/assign/merge lock two registries at once, in address order, so a
+// concurrent a.merge(b) / b.merge(a) pair cannot deadlock. The analysis
+// cannot follow conditional lock ordering, hence the opt-outs — the
+// invariant they document is exactly "both mutexes held across the body".
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& other)
+    LL_NO_THREAD_SAFETY_ANALYSIS {
+  // `this` is under construction: nobody else can hold or contend mu_.
+  util::MutexLock theirs(other.mu_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other)
+    LL_NO_THREAD_SAFETY_ANALYSIS {
+  if (this == &other) return *this;
+  util::Mutex* first = &mu_ < &other.mu_ ? &mu_ : &other.mu_;
+  util::Mutex* second = &mu_ < &other.mu_ ? &other.mu_ : &mu_;
+  first->lock();
+  second->lock();
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  second->unlock();
+  first->unlock();
+  return *this;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other)
+    LL_NO_THREAD_SAFETY_ANALYSIS {
+  if (this == &other) return;
+  util::Mutex* first = &mu_ < &other.mu_ ? &mu_ : &other.mu_;
+  util::Mutex* second = &mu_ < &other.mu_ ? &other.mu_ : &mu_;
+  first->lock();
+  second->lock();
   for (const auto& [key, value] : other.counters_) counters_[key] += value;
   for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+  second->unlock();
+  first->unlock();
 }
 
 std::string MetricsRegistry::to_json() const {
+  util::MutexLock lock(mu_);
   std::string out = "{";
   bool first = true;
   auto append = [&](const std::string& key, const std::string& value) {
@@ -40,8 +75,11 @@ std::string MetricsRegistry::to_json() const {
 
 void MetricsRegistry::record_to(TraceSink& sink, TimePoint at) const {
   TraceEvent ev("run:metrics", at);
-  for (const auto& [key, value] : counters_) ev.u(key, value);
-  for (const auto& [key, value] : gauges_) ev.i(key, value);
+  {
+    util::MutexLock lock(mu_);
+    for (const auto& [key, value] : counters_) ev.u(key, value);
+    for (const auto& [key, value] : gauges_) ev.i(key, value);
+  }
   sink.record(ev);
 }
 

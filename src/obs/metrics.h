@@ -5,6 +5,15 @@
 // per-round registries in round order into the CellResult, so the folded
 // totals are byte-identical for any LL_JOBS — the same discipline as the
 // PLT fold. Keys live in a std::map, so rendering order is deterministic.
+//
+// Thread safety: every mutation and read goes through mu_ (annotated, so
+// the clang -Wthread-safety leg proves it on every path, not just the ones
+// TSan happens to execute). The registry is shared across SweepRunner jobs
+// only through the job graph today, but nothing relies on that: concurrent
+// incr()/merge() from racing jobs is safe. The counters()/gauges()
+// accessors return references for the render paths; the reference itself
+// outlives the internal lock, so callers must be quiesced (post
+// wait_all()) — the same contract as reading any CellResult field.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +21,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace longlook::obs {
@@ -20,29 +30,52 @@ class TraceSink;
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  // Copies snapshot `other` under its lock; the new registry has a fresh,
+  // unlocked mutex.
+  MetricsRegistry(const MetricsRegistry& other);
+  MetricsRegistry& operator=(const MetricsRegistry& other);
+
   // Counters accumulate across merges.
   void incr(std::string_view key, std::uint64_t delta = 1) {
-    if (delta != 0) counters_[std::string(key)] += delta;
+    if (delta == 0) return;
+    util::MutexLock lock(mu_);
+    counters_[std::string(key)] += delta;
   }
   // Gauges hold a point-in-time value; merge keeps the incoming value
   // (last-writer-wins in fold order).
   void set_gauge(std::string_view key, std::int64_t value) {
+    util::MutexLock lock(mu_);
     gauges_[std::string(key)] = value;
   }
 
   std::uint64_t counter(std::string_view key) const {
+    util::MutexLock lock(mu_);
     auto it = counters_.find(std::string(key));
     return it == counters_.end() ? 0 : it->second;
   }
-  bool empty() const { return counters_.empty() && gauges_.empty(); }
-  std::size_t size() const { return counters_.size() + gauges_.size(); }
+  bool empty() const {
+    util::MutexLock lock(mu_);
+    return counters_.empty() && gauges_.empty();
+  }
+  std::size_t size() const {
+    util::MutexLock lock(mu_);
+    return counters_.size() + gauges_.size();
+  }
 
+  // Render-path accessors; see the thread-safety note above.
   const std::map<std::string, std::uint64_t>& counters() const {
+    util::MutexLock lock(mu_);
     return counters_;
   }
-  const std::map<std::string, std::int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, std::int64_t>& gauges() const {
+    util::MutexLock lock(mu_);
+    return gauges_;
+  }
 
   // Folds `other` into this registry (counters sum, gauges overwrite).
+  // Self-merge is a no-op. Safe against a concurrent merge in the other
+  // direction (locks are taken in address order).
   void merge(const MetricsRegistry& other);
 
   // One sorted JSON object: {"a":1,"b":2}. Counters and gauges share the
@@ -54,8 +87,9 @@ class MetricsRegistry {
   void record_to(TraceSink& sink, TimePoint at) const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, std::int64_t> gauges_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::uint64_t> counters_ LL_GUARDED_BY(mu_);
+  std::map<std::string, std::int64_t> gauges_ LL_GUARDED_BY(mu_);
 };
 
 }  // namespace longlook::obs

@@ -36,6 +36,7 @@ void append_json_escaped(std::string& out, std::string_view s) {
 }
 
 void JsonLinesSink::record(const TraceEvent& event) {
+  util::MutexLock lock(mu_);
   buffer_ += "{\"t\":";
   buffer_ += std::to_string(event.at().time_since_epoch().count());
   buffer_ += ",\"ev\":\"";
@@ -69,6 +70,7 @@ void JsonLinesSink::record(const TraceEvent& event) {
 bool JsonLinesSink::write_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
+  util::MutexLock lock(mu_);
   out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
   return static_cast<bool>(out);
 }
@@ -88,6 +90,7 @@ void RecordingSink::record(const TraceEvent& event) {
     sf.s = std::string(f.s);
     stored.fields.push_back(std::move(sf));
   }
+  util::MutexLock lock(mu_);
   events_.push_back(std::move(stored));
 }
 

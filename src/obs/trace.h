@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace longlook::obs {
@@ -99,12 +100,24 @@ class TraceSink {
 //   {"t":<ns>,"ev":"<name>",<fields in emission order>}
 // Buffered in memory; write_file() flushes the whole run at once so a
 // parallel sweep never interleaves writers within a file.
+//
+// Thread safety: record() appends under mu_, so a sink shared by racing
+// emitters stays well-formed line-by-line (relative line order then follows
+// scheduling — deterministic artifacts additionally need one sink per run,
+// which is what the harness does). text() returns a reference that outlives
+// the lock: readers must be quiesced, the same contract as CellResult.
 class JsonLinesSink final : public TraceSink {
  public:
   void record(const TraceEvent& event) override;
 
-  const std::string& text() const { return buffer_; }
-  std::size_t line_count() const { return lines_; }
+  const std::string& text() const {
+    util::MutexLock lock(mu_);
+    return buffer_;
+  }
+  std::size_t line_count() const {
+    util::MutexLock lock(mu_);
+    return lines_;
+  }
 
   // Writes the buffered lines to `path` (truncating). Returns false on I/O
   // failure; tracing is an observability layer, so callers treat a failed
@@ -112,8 +125,9 @@ class JsonLinesSink final : public TraceSink {
   bool write_file(const std::string& path) const;
 
  private:
-  std::string buffer_;
-  std::size_t lines_ = 0;
+  mutable util::Mutex mu_;
+  std::string buffer_ LL_GUARDED_BY(mu_);
+  std::size_t lines_ LL_GUARDED_BY(mu_) = 0;
 };
 
 // Deep-copied event storage for in-process consumers (tests, smi::
@@ -138,15 +152,25 @@ struct StoredEvent {
   bool has(std::string_view key) const;
 };
 
+// Thread safety: record() and clear() lock mu_; events() returns a
+// reference that outlives the lock and requires quiesced readers (tests and
+// smi:: inference consume it after the run completes).
 class RecordingSink final : public TraceSink {
  public:
   void record(const TraceEvent& event) override;
 
-  const std::vector<StoredEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  const std::vector<StoredEvent>& events() const {
+    util::MutexLock lock(mu_);
+    return events_;
+  }
+  void clear() {
+    util::MutexLock lock(mu_);
+    events_.clear();
+  }
 
  private:
-  std::vector<StoredEvent> events_;
+  mutable util::Mutex mu_;
+  std::vector<StoredEvent> events_ LL_GUARDED_BY(mu_);
 };
 
 // JSON string escaping shared by the writers (quotes, backslashes, control

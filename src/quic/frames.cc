@@ -14,6 +14,18 @@ enum class FrameType : std::uint8_t {
   kStopWaiting = 8,
 };
 
+// ACK delay travels as an unsigned varint. Duration is signed, so a
+// negative delay must clamp to zero here instead of wrapping to a ~2^64
+// varint, which would inflate the encoded size and desynchronize it from
+// frame_size()'s accounting. No current caller produces a negative delay
+// (the harness computes now - received_at with now >= received_at), so
+// wire traces are unchanged; this hardens the encoder against future ones.
+std::uint64_t ack_delay_wire(Duration d) {
+  if (d.count() < 0) return 0;
+  // ll-analysis: allow(narrowing-time-arith) clamped non-negative above
+  return static_cast<std::uint64_t>(d.count());
+}
+
 std::uint64_t fnv1a(BytesView data) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::uint8_t b : data) {
@@ -37,7 +49,8 @@ void encode_frame(ByteWriter& w, const Frame& f) {
         } else if constexpr (std::is_same_v<T, AckFrame>) {
           w.u8(static_cast<std::uint8_t>(FrameType::kAck));
           w.varint(fr.largest_acked);
-          w.varint(static_cast<std::uint64_t>(fr.ack_delay.count()));
+          w.varint(ack_delay_wire(fr.ack_delay));
+          // ll-analysis: allow(narrowing-time-arith) TimePoint is epoch-based and the simulation epoch is zero, so time_since_epoch() is never negative
           w.u64(static_cast<std::uint64_t>(
               fr.largest_received_at.time_since_epoch().count()));
           w.varint(fr.ranges.size());
@@ -214,8 +227,7 @@ std::size_t frame_size(const Frame& f) {
                  fr.data.size();
         } else if constexpr (std::is_same_v<T, AckFrame>) {
           std::size_t s = 1 + varint_length(fr.largest_acked) +
-                          varint_length(static_cast<std::uint64_t>(
-                              fr.ack_delay.count())) +
+                          varint_length(ack_delay_wire(fr.ack_delay)) +
                           8 + varint_length(fr.ranges.size());
           for (const AckRange& r : fr.ranges) {
             s += varint_length(r.lo) + varint_length(r.hi);

@@ -156,6 +156,7 @@ TcpSegment TcpConnection::make_base_segment() const {
   seg.ack_flag = true;
   seg.ack = rcv_nxt_;
   seg.window = advertised_window();
+  // ll-analysis: allow(narrowing-time-arith) the simulation epoch is zero, so now().time_since_epoch() is never negative
   seg.ts_val =
       static_cast<std::uint64_t>(sim_.now().time_since_epoch().count());
   return seg;

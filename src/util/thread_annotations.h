@@ -1,0 +1,111 @@
+// Clang thread-safety annotations (no-ops elsewhere) plus the annotated
+// mutex/lock/condvar wrappers the harness and obs layers use.
+//
+// libstdc++'s std::mutex carries no capability attributes, so raw
+// std::mutex + std::lock_guard is invisible to clang's -Wthread-safety
+// analysis. util::Mutex / util::MutexLock are thin zero-overhead wrappers
+// that make every acquire/release visible to the compiler; with
+// -DLONGLOOK_THREAD_SAFETY=ON (clang only) any access to an LL_GUARDED_BY
+// field outside its lock is a hard compile error — a data-race class the
+// TSan leg can only catch on executed paths, caught here on every path.
+//
+// Conventions (docs/static_analysis.md "Thread annotations"):
+//   * every mutable field shared between threads is LL_GUARDED_BY(mu_),
+//     or is a std::atomic, or carries an inline allow-note for the
+//     `missing-lock-annotation` analyzer rule saying why neither applies;
+//   * private helpers that expect the lock held are LL_REQUIRES(mu_)
+//     and named *_locked;
+//   * condition-variable predicates are written as explicit while-loops
+//     around CondVar::wait() so the guarded reads stay inside the
+//     annotated critical section (lambda predicates are analyzed as
+//     unannotated functions and would warn).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LL_THREAD_ANNOTATION_(x)
+#endif
+
+#define LL_CAPABILITY(x) LL_THREAD_ANNOTATION_(capability(x))
+#define LL_SCOPED_CAPABILITY LL_THREAD_ANNOTATION_(scoped_lockable)
+#define LL_GUARDED_BY(x) LL_THREAD_ANNOTATION_(guarded_by(x))
+#define LL_PT_GUARDED_BY(x) LL_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define LL_REQUIRES(...) \
+  LL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LL_ACQUIRE(...) \
+  LL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LL_RELEASE(...) \
+  LL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define LL_TRY_ACQUIRE(...) \
+  LL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define LL_EXCLUDES(...) LL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define LL_ACQUIRED_BEFORE(...) \
+  LL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define LL_ACQUIRED_AFTER(...) \
+  LL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define LL_RETURN_CAPABILITY(x) LL_THREAD_ANNOTATION_(lock_returned(x))
+#define LL_NO_THREAD_SAFETY_ANALYSIS \
+  LL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace longlook::util {
+
+class MutexLock;
+class CondVar;
+
+// std::mutex with the capability attribute the analysis needs.
+class LL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LL_ACQUIRE() { mu_.lock(); }
+  void unlock() LL_RELEASE() { mu_.unlock(); }
+  bool try_lock() LL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// Scoped holder (std::lock_guard/std::unique_lock replacement). Relockable:
+// unlock()/lock() let a worker drop the lock around long-running work, and
+// the destructor releases only if currently held.
+class LL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LL_ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() LL_RELEASE() = default;
+
+  void lock() LL_ACQUIRE() { lock_.lock(); }
+  void unlock() LL_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable working on MutexLock. wait() atomically releases and
+// reacquires; from the analysis' point of view the capability stays held
+// across the call (the caller re-checks its predicate in a while-loop, so
+// every guarded read still happens inside the critical section).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace longlook::util

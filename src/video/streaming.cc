@@ -20,13 +20,18 @@ StreamingSession::StreamingSession(Simulator& sim,
     : sim_(sim), session_(session), config_(config) {}
 
 std::size_t StreamingSession::segment_bytes() const {
-  return static_cast<std::size_t>(config_.quality.bitrate_bps / 8 *
-                                  config_.segment_length.count() / 1000000000);
+  // Computed in the signed 64-bit domain first: a mis-configured negative
+  // segment length used to wrap through std::size_t into a multi-exabyte
+  // segment; now it degrades to an empty segment instead.
+  const std::int64_t bytes = config_.quality.bitrate_bps / 8 *
+                             config_.segment_length.count() / 1000000000;
+  return bytes > 0 ? static_cast<std::size_t>(bytes) : 0;
 }
 
 std::size_t StreamingSession::total_segments() const {
-  return static_cast<std::size_t>(config_.video_length.count() /
-                                  config_.segment_length.count());
+  const std::int64_t segments =
+      config_.video_length.count() / config_.segment_length.count();
+  return segments > 0 ? static_cast<std::size_t>(segments) : 0;
 }
 
 void StreamingSession::start(std::function<void(const QoeMetrics&)> on_done) {

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analysis (ctest `analysis-selftest`).
+
+Pins the analyzer's behavior so a rule regression fails ctest instead of
+failing open:
+
+  * exact per-rule finding counts on tools/analysis/fixtures/bad/;
+  * the clean fixtures — including an inline suppression — stay spotless;
+  * an unknown rule tag or a reason-less suppression is a hard error
+    (exit 2), never a silent no-op;
+  * the --json report is valid and agrees with the text output.
+
+Usage: test_analysis_selftest.py   (exit 0 pass, 1 fail)
+"""
+
+import io
+import json
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from analysis import AnalysisError, analyze_paths, main  # noqa: E402
+
+FIXTURES = REPO / "tools" / "analysis" / "fixtures"
+
+# rule -> EXACT number of findings the bad fixtures must produce. Unlike
+# the legacy lint self-test's minimums, these are pinned exactly: any
+# drift means a rule loosened or tightened and the fixture plus this
+# table must move together.
+EXPECTED_BAD = {
+    "narrowing-time-arith": 6,
+    "container-mutation-in-loop": 3,
+    "missing-lock-annotation": 2,
+}
+
+
+def run_main(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(["run_analysis.py"] + argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def main_selftest() -> int:
+    failures = []
+
+    # --- bad fixtures: exact per-rule counts --------------------------------
+    result = analyze_paths([str(FIXTURES / "bad")])
+    counts = {}
+    for f in result.findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    for rule, expected in EXPECTED_BAD.items():
+        got = counts.get(rule, 0)
+        if got != expected:
+            failures.append(
+                f"bad fixtures: rule '{rule}' fired {got} time(s), "
+                f"expected exactly {expected}")
+    total = sum(EXPECTED_BAD.values())
+    if len(result.findings) != total:
+        failures.append(
+            f"bad fixtures: {len(result.findings)} total findings, expected "
+            f"exactly {total}; extra rules fired: "
+            f"{sorted(set(counts) - set(EXPECTED_BAD))}")
+    code, _, _ = run_main([str(FIXTURES / "bad")])
+    if code != 1:
+        failures.append(f"bad fixtures: expected exit 1, got {code}")
+
+    # --- clean fixtures: spotless, with the suppression exercised -----------
+    result = analyze_paths([str(FIXTURES / "clean")])
+    if result.findings:
+        failures.append(
+            "clean fixtures: expected no findings, got:\n  " +
+            "\n  ".join(f.render() for f in result.findings))
+    if result.suppressed != 1:
+        failures.append(
+            f"clean fixtures: expected exactly 1 suppressed finding "
+            f"(the demonstrative allow-note), got {result.suppressed}")
+
+    # --- suppression misuse is a hard error ---------------------------------
+    for fixture, fragment in [
+        ("unknown_rule.cc", "unknown rule"),
+        ("missing_reason.cc", "carries no reason"),
+    ]:
+        path = FIXTURES / "error" / fixture
+        try:
+            analyze_paths([str(path)])
+            failures.append(f"{fixture}: expected AnalysisError, got none")
+        except AnalysisError as e:
+            if fragment not in str(e):
+                failures.append(
+                    f"{fixture}: error message missing {fragment!r}: {e}")
+        code, _, err = run_main([str(path)])
+        if code != 2:
+            failures.append(f"{fixture}: expected exit 2 via CLI, got {code}")
+
+    # --- JSON report agrees with the text output ----------------------------
+    with tempfile.TemporaryDirectory() as td:
+        report = Path(td) / "report.json"
+        code, out, _ = run_main(
+            ["--json", str(report), str(FIXTURES / "bad")])
+        data = json.loads(report.read_text())
+        if data.get("version") != 1:
+            failures.append(f"json report: bad version: {data.get('version')}")
+        if len(data.get("findings", [])) != total:
+            failures.append(
+                f"json report: {len(data.get('findings', []))} findings, "
+                f"expected {total}")
+        text_lines = [ln for ln in out.splitlines() if ln.strip()]
+        if len(text_lines) != total:
+            failures.append(
+                f"text output: {len(text_lines)} finding lines, "
+                f"expected {total}")
+        for f in data.get("findings", []):
+            for key in ("path", "line", "rule", "message", "snippet"):
+                if key not in f:
+                    failures.append(f"json report: finding missing '{key}'")
+                    break
+
+    if failures:
+        print("analysis_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"analysis_selftest: OK ({total} pinned findings on bad fixtures, "
+          "clean fixtures spotless, suppression misuse rejected)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_selftest())

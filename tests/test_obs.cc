@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -31,7 +32,7 @@ using harness::Scenario;
 using harness::SweepRunner;
 using harness::Workload;
 
-TimePoint at_ms(int ms) { return TimePoint{} + milliseconds(ms); }
+TimePoint at_ms(std::int64_t ms) { return TimePoint{} + milliseconds(ms); }
 
 // --- JsonLinesSink -------------------------------------------------------
 

@@ -132,10 +132,10 @@ TEST(PaperFindings, ZeroRttHelpsSmallNotHuge) {
 
 struct Impairment {
   const char* name;
-  double loss;
-  Duration jitter;
-  double reorder;
-  std::int64_t buffer;
+  double loss = 0.0;
+  Duration jitter{};
+  double reorder = 0.0;
+  std::int64_t buffer = 0;
 };
 
 class ReliabilitySweep : public ::testing::TestWithParam<Impairment> {};

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "quic/ack_manager.h"
@@ -21,7 +22,7 @@
 namespace longlook::quic {
 namespace {
 
-TimePoint at_ms(int ms) { return TimePoint{} + milliseconds(ms); }
+TimePoint at_ms(std::int64_t ms) { return TimePoint{} + milliseconds(ms); }
 
 class RandomSeed : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -33,9 +34,9 @@ TEST_P(RandomSeed, ReassemblyDeliversExactBytesUnderAnyFrameSchedule) {
 
   // Cut the payload into random frames, duplicate ~30%, shuffle fully.
   struct Piece {
-    std::uint64_t offset;
-    std::size_t len;
-    bool fin;
+    std::uint64_t offset = 0;
+    std::size_t len = 0;
+    bool fin = false;
   };
   std::vector<Piece> pieces;
   std::size_t off = 0;
@@ -117,8 +118,9 @@ TEST_P(RandomSeed, SentPacketManagerFlightAccountingMatchesOracle) {
   RttEstimator rtt;
 
   struct Oracle {
-    std::size_t bytes;
-    bool outstanding;  // retransmittable and neither acked nor lost
+    std::size_t bytes = 0;
+    // retransmittable and neither acked nor lost
+    bool outstanding = false;
   };
   std::map<PacketNumber, Oracle> oracle;
   PacketNumber next_pn = 1;

@@ -4,6 +4,8 @@
 // retransmission queue, flow control, reassembly, FIN handling).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "quic/ack_manager.h"
 #include "quic/sent_packet_manager.h"
 #include "quic/stream.h"
@@ -11,14 +13,14 @@
 namespace longlook::quic {
 namespace {
 
-TimePoint at_ms(int ms) { return TimePoint{} + milliseconds(ms); }
+TimePoint at_ms(std::int64_t ms) { return TimePoint{} + milliseconds(ms); }
 
 // --- AckManager ----------------------------------------------------------
 
 TEST(AckManager, TracksContiguousRange) {
   AckManager am;
   for (PacketNumber pn = 1; pn <= 5; ++pn) {
-    EXPECT_FALSE(am.on_packet_received(at_ms(static_cast<int>(pn)), pn, true));
+    EXPECT_FALSE(am.on_packet_received(at_ms(pn), pn, true));
   }
   ASSERT_EQ(am.ranges().size(), 1u);
   EXPECT_EQ(am.ranges()[0].lo, 1u);
@@ -86,7 +88,7 @@ TEST(AckManager, BuildAckCarriesDelayAndDescendingRanges) {
 TEST(AckManager, StopWaitingDropsOldRanges) {
   AckManager am;
   for (PacketNumber pn : {1, 2, 3, 7, 8, 20}) {
-    am.on_packet_received(at_ms(static_cast<int>(pn)), pn, true);
+    am.on_packet_received(at_ms(pn), pn, true);
   }
   am.on_stop_waiting(8);
   ASSERT_GE(am.ranges().size(), 1u);
@@ -100,7 +102,7 @@ TEST(AckManager, RangeCountIsBoundedUnderPathologicalGaps) {
   cfg.max_ranges = 16;
   AckManager am(cfg);
   for (PacketNumber pn = 2; pn < 400; pn += 2) {  // all odd pns missing
-    am.on_packet_received(at_ms(static_cast<int>(pn)), pn, true);
+    am.on_packet_received(at_ms(pn), pn, true);
     EXPECT_LE(am.ranges().size(), 16u);
   }
   // The newest information is retained.
@@ -143,7 +145,7 @@ TEST(SentPacketManager, FixedNackThresholdDeclaresLoss) {
   SentPacketManager spm(cfg);
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 5; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true,
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true,
                        {data_ref(3, (pn - 1) * 1000, 1000)});
   }
   // Ack 2..4: packet 1 is 3 below largest => exactly at threshold => lost.
@@ -159,7 +161,7 @@ TEST(SentPacketManager, BelowThresholdNotLost) {
   SentPacketManager spm(LossDetectionConfig{});
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 3; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   // Largest acked 3, hole at 1: gap of 2 < threshold 3.
   const auto result = spm.on_ack(simple_ack(3, {{2, 3}}), at_ms(50), rtt);
@@ -170,7 +172,7 @@ TEST(SentPacketManager, LateAckRevealsSpuriousLoss) {
   SentPacketManager spm(LossDetectionConfig{});
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 6; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   auto first = spm.on_ack(simple_ack(6, {{2, 6}}), at_ms(50), rtt);
   ASSERT_EQ(first.lost.size(), 1u);  // packet 1 declared lost
@@ -189,7 +191,7 @@ TEST(SentPacketManager, SpuriousAckCreditsCcAndReturnsDataForCancel) {
   SentPacketManager spm(LossDetectionConfig{});
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 5; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true,
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true,
                        {data_ref(3, (pn - 1) * 1000, 1000)});
   }
   const auto first = spm.on_ack(simple_ack(4, {{2, 4}}), at_ms(50), rtt);
@@ -216,7 +218,7 @@ TEST(SentPacketManager, LeastUnackedIncludesDeclaredLost) {
   SentPacketManager spm(LossDetectionConfig{});
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 5; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   const auto result = spm.on_ack(simple_ack(4, {{2, 4}}), at_ms(50), rtt);
   ASSERT_EQ(result.lost.size(), 1u);  // packet 1 declared lost, entry kept
@@ -238,7 +240,7 @@ TEST(SentPacketManager, AdaptiveThresholdSeesRevealingAcksOwnLargest) {
   SentPacketManager spm(cfg);
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 10; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   (void)spm.on_ack(simple_ack(8, {{2, 8}}), at_ms(50), rtt);  // pn 1 lost
   // The late ack of pn 1 arrives in the same frame that first acks 9..10:
@@ -254,7 +256,7 @@ TEST(SentPacketManager, AdaptiveModeRaisesThresholdAfterSpurious) {
   SentPacketManager spm(cfg);
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 10; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   EXPECT_EQ(spm.current_nack_threshold(), 3u);
   (void)spm.on_ack(simple_ack(8, {{2, 8}}), at_ms(50), rtt);
@@ -264,7 +266,7 @@ TEST(SentPacketManager, AdaptiveModeRaisesThresholdAfterSpurious) {
   // Same reordering depth again: no longer declared lost.
   spm.on_packet_sent(11, 1000, at_ms(70), true, {});
   for (PacketNumber pn = 12; pn <= 16; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn) + 60), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn + 60), true, {});
   }
   const auto result = spm.on_ack(simple_ack(16, {{12, 16}}), at_ms(90), rtt);
   EXPECT_TRUE(result.lost.empty());
@@ -317,7 +319,7 @@ TEST(SentPacketManager, LeastUnackedSkipsAcked) {
   SentPacketManager spm(LossDetectionConfig{});
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 3; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   (void)spm.on_ack(simple_ack(1, {{1, 1}}), at_ms(40), rtt);
   EXPECT_EQ(spm.least_unacked(), 2u);
@@ -332,11 +334,11 @@ TEST(SentPacketManager, ReorderedPacketPastStopWaitingStillRevealsSpurious) {
   AckManager am;
   RttEstimator rtt;
   for (PacketNumber pn = 1; pn <= 5; ++pn) {
-    spm.on_packet_sent(pn, 1000, at_ms(static_cast<int>(pn)), true, {});
+    spm.on_packet_sent(pn, 1000, at_ms(pn), true, {});
   }
   // Packet 1 is reordered in the network; 2..5 arrive first.
   for (PacketNumber pn = 2; pn <= 5; ++pn) {
-    am.on_packet_received(at_ms(static_cast<int>(pn) + 10), pn, true);
+    am.on_packet_received(at_ms(pn + 10), pn, true);
   }
   const auto first = spm.on_ack(am.build_ack(at_ms(20)), at_ms(20), rtt);
   ASSERT_EQ(first.lost.size(), 1u);  // packet 1 declared lost

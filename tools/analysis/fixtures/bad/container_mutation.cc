@@ -1,0 +1,27 @@
+// Fixture: container-mutation-in-loop must fire on every loop below.
+// Expected findings: 3 (kept in sync with tests/test_analysis_selftest.py).
+#include <map>
+#include <vector>
+
+struct State {
+  std::vector<int> values;
+};
+
+void grow_while_iterating(std::vector<int>& items) {
+  for (int x : items) {
+    items.push_back(x);  // finding 1: push_back invalidates the iterator
+  }
+}
+
+void erase_while_iterating(std::map<int, int>& table) {
+  for (const auto& kv : table) {
+    table.erase(kv.first);  // finding 2: erase under range-for
+  }
+}
+
+void clear_member_while_iterating(State& state) {
+  for (int v : state.values) {
+    (void)v;
+    state.values.clear();  // finding 3: member container cleared in loop
+  }
+}

@@ -1,0 +1,22 @@
+// Fixture: missing-lock-annotation must flag the unannotated fields.
+// Expected findings: 2 (kept in sync with tests/test_analysis_selftest.py).
+#include <atomic>
+#include <mutex>
+#include <string>
+
+class Tracker {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;
+  int counter_ = 0;        // finding 1: shares the class with mu_
+  std::string name_;       // finding 2: shares the class with mu_
+  std::atomic<int> hits_;  // exempt: atomic
+  const int limit_ = 8;    // exempt: immutable
+  static constexpr int kMax = 4;  // exempt: constexpr
+};
+
+class NoMutexHere {
+  int fine_without_annotations_ = 0;
+};

@@ -1,0 +1,33 @@
+// Fixture: narrowing-time-arith must fire on every construct below.
+// Expected findings: 6 (kept in sync with tests/test_analysis_selftest.py).
+#include <cstdint>
+
+struct Duration {
+  std::int64_t count() const { return v; }
+  std::int64_t v = 0;
+};
+
+int narrow_static_cast(std::int64_t rtt_us) {
+  return static_cast<int>(rtt_us);  // finding 1: truncating cast
+}
+
+std::uint32_t narrow_count(Duration d) {
+  return static_cast<std::uint32_t>(d.count());  // finding 2: truncating
+}
+
+std::uint64_t sign_mix(std::int64_t delay_ms) {
+  return static_cast<std::uint64_t>(delay_ms);  // finding 3: signed→unsigned
+}
+
+int c_style(std::int64_t elapsed_us) {
+  return (int)elapsed_us;  // finding 4: C-style truncating cast
+}
+
+int decl_init(std::int64_t smoothed_rtt_us) {
+  int rtt = smoothed_rtt_us;  // finding 5: narrow decl from time expr
+  return rtt;
+}
+
+int packet_number(std::uint64_t largest_acked) {
+  return static_cast<int>(largest_acked);  // finding 6: pn truncation
+}

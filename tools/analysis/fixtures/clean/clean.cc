@@ -1,0 +1,52 @@
+// Fixture: the analyzer must stay silent on all of this — rule look-alikes,
+// properly annotated classes, and a demonstrative inline suppression.
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#define LL_GUARDED_BY(x)
+
+struct Duration {
+  std::int64_t count() const { return v; }
+  std::int64_t v = 0;
+};
+
+double widening_is_fine(std::int64_t rtt_us) {
+  return static_cast<double>(rtt_us);  // double holds the full range
+}
+
+std::int64_t same_width_is_fine(Duration d) {
+  return d.count();  // no cast, no narrowing
+}
+
+int suppressed_with_reason(std::int64_t rtt_us) {
+  // ll-analysis: allow(narrowing-time-arith) fixture demonstrating the suppression syntax
+  return static_cast<int>(rtt_us);
+}
+
+void mutating_a_different_container(const std::vector<int>& src,
+                                    std::vector<int>& dst) {
+  for (int x : src) {
+    dst.push_back(x);  // dst is not the container being iterated
+  }
+}
+
+struct Trace {
+  std::vector<int> events;
+};
+
+void member_name_collision(const std::vector<int>& events, Trace& trace) {
+  for (int e : events) {
+    trace.events.push_back(e);  // trace.events != the iterated `events`
+  }
+}
+
+class FullyAnnotated {
+ public:
+  void set(int v);
+
+ private:
+  std::mutex mu_;
+  int value_ LL_GUARDED_BY(mu_) = 0;
+  const int limit_ = 4;
+};

@@ -1,0 +1,6 @@
+// Fixture: a suppression without a reason must be a hard error (exit 2);
+// every suppression has to say why the finding is intended.
+int f(long long rtt_us) {
+  // ll-analysis: allow(narrowing-time-arith)
+  return static_cast<int>(rtt_us);
+}

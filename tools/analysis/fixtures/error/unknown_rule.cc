@@ -1,0 +1,6 @@
+// Fixture: an unknown rule name inside allow(...) must be a hard error
+// (exit 2), never a silent no-op.
+int f(long long rtt_us) {
+  // ll-analysis: allow(no-such-rule) typo'd suppressions must not fail open
+  return static_cast<int>(rtt_us);
+}

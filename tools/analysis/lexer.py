@@ -1,0 +1,205 @@
+"""C++ lexer for the longlook static analyzer.
+
+Produces a token stream plus the comment list (for suppression parsing).
+This is a *lexer*, not a parser: rules pattern-match token sequences with
+brace/paren/angle tracking of their own. Handled here so no rule ever has
+to worry about them again:
+
+  * // and /* */ comments (returned separately, never as tokens);
+  * string literals, char literals, raw strings R"delim(...)delim";
+  * line splices (backslash-newline) inside any of the above;
+  * preprocessor directives (skipped entirely, including continuations);
+  * multi-char operators (::, ->, <<=, ...) as single tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+# Longest-match-first operator table.
+_OPERATORS = [
+    "<<=", ">>=", "...", "->*",
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", ".*",
+]
+
+_ID_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_ID_CONT = _ID_START | frozenset("0123456789")
+
+
+@dataclass
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'chr' | 'op'
+    text: str
+    line: int
+
+
+@dataclass
+class Comment:
+    line: int        # line the comment starts on
+    text: str        # comment body without the // or /* */ markers
+    trailing: bool   # True when code precedes the comment on its line
+
+
+def tokenize(text: str) -> Tuple[List[Token], List[Comment]]:
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_has_code = False
+
+    def splice(j: int) -> int:
+        """Skips backslash-newline splices; returns the new index."""
+        nonlocal line
+        while text.startswith("\\\n", j):
+            line += 1
+            j += 2
+        return j
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            line_has_code = False
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if text.startswith("\\\n", i):
+            line += 1
+            i += 2
+            continue
+        # Comments.
+        if text.startswith("//", i):
+            start_line = line
+            j = i + 2
+            while j < n and text[j] != "\n":
+                if text.startswith("\\\n", j):  # spliced // comment
+                    line += 1
+                    j += 2
+                    continue
+                j += 1
+            comments.append(Comment(start_line, text[i + 2:j], line_has_code))
+            i = j
+            continue
+        if text.startswith("/*", i):
+            start_line = line
+            j = i + 2
+            while j < n and not text.startswith("*/", j):
+                if text[j] == "\n":
+                    line += 1
+                j += 1
+            comments.append(Comment(start_line, text[i + 2:j], line_has_code))
+            i = j + 2 if j < n else n
+            continue
+        # Preprocessor directive: only if '#' is the first code on the line.
+        if c == "#" and not line_has_code:
+            j = i + 1
+            while j < n and text[j] != "\n":
+                if text.startswith("\\\n", j):
+                    line += 1
+                    j += 2
+                    continue
+                j += 1
+            i = j
+            continue
+        # Raw string literal (optionally prefixed u8/u/U/L).
+        if c in "Ru" or c == "L" or c == "U":
+            m = _match_raw_string(text, i)
+            if m is not None:
+                body_end, newlines = m
+                tokens.append(Token("str", text[i:body_end], line))
+                line += newlines
+                line_has_code = True
+                i = body_end
+                continue
+        # Ordinary string / char literal (with prefixes).
+        if c == '"' or c == "'" or (
+            c in "uUL" and i + 1 < n and text[i + 1] in "\"'"
+        ) or (text.startswith('u8', i) and i + 2 < n and text[i + 2] in "\"'"):
+            start = i
+            while i < n and text[i] not in "\"'":
+                i += 1
+            quote = text[i]
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    if text.startswith("\\\n", j):
+                        line += 1
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated; be forgiving
+                    break
+                j += 1
+            kind = "str" if quote == '"' else "chr"
+            tokens.append(Token(kind, text[start:j], line))
+            line_has_code = True
+            i = j
+            continue
+        # Identifier / keyword.
+        if c in _ID_START:
+            j = i
+            while j < n and text[j] in _ID_CONT:
+                j = splice(j + 1)
+            tokens.append(Token("id", text[i:j], line))
+            line_has_code = True
+            i = j
+            continue
+        # Number (incl. 1'000, 0x1F, 1.5e-3, suffixes).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (
+                text[j] in _ID_CONT or text[j] in ".'"
+                or (text[j] in "+-" and j > i and text[j - 1] in "eEpP")
+            ):
+                j = splice(j + 1)
+            tokens.append(Token("num", text[i:j], line))
+            line_has_code = True
+            i = j
+            continue
+        # Operators / punctuation.
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                line_has_code = True
+                i += len(op)
+                break
+        else:
+            tokens.append(Token("op", c, line))
+            line_has_code = True
+            i += 1
+    return tokens, comments
+
+
+def _match_raw_string(text: str, i: int):
+    """Matches a raw string literal at i; returns (end_index, newline_count)
+    or None."""
+    j = i
+    for prefix in ("u8R", "uR", "UR", "LR", "R"):
+        if text.startswith(prefix, i):
+            j = i + len(prefix)
+            break
+    else:
+        return None
+    if j >= len(text) or text[j] != '"':
+        return None
+    j += 1
+    delim_end = j
+    while delim_end < len(text) and text[delim_end] not in '(\\)" \t\n':
+        delim_end += 1
+    if delim_end >= len(text) or text[delim_end] != "(":
+        return None
+    closer = ")" + text[j:delim_end] + '"'
+    end = text.find(closer, delim_end + 1)
+    if end < 0:
+        return None
+    end += len(closer)
+    return end, text.count("\n", i, end)

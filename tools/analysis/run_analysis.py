@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""CLI entry point for the longlook analyzer.
+
+    tools/analysis/run_analysis.py [--json OUT] [--rules a,b]
+                                   [--legacy-only] [--allowlist FILE] PATH...
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/configuration error.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from analysis import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

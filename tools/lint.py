@@ -1,225 +1,56 @@
 #!/usr/bin/env python3
-"""Determinism lint for the longlook source tree.
+"""Determinism lint for the longlook source tree (compatibility shim).
 
-The testbed's whole methodology (paired same-seed QUIC/TCP rounds, Welch's
-t-test, state-machine inference) assumes bit-for-bit repeatable runs. This
-lint bans the hazards that silently break that property:
+The original line-regex implementation has been replaced by the token-aware
+analyzer in tools/analysis/ — this shim runs that analyzer restricted to the
+original determinism rule set, preserving the CLI, the output format, the
+exit codes, and the tools/lint_allowlist.txt mechanism so existing ctest
+names (`lint`, `lint-selftest`) and CI steps keep working unchanged.
+
+Rules (see docs/static_analysis.md for the full catalog including the
+newer semantic rules):
 
   wall-clock            any real-time source; virtual time comes from
                         Simulator::now() only.
   raw-rand              rand()/random()/std::random_device/std::mt19937;
                         all randomness must flow through util/Rng, seeded
                         from the scenario.
-  unordered-iteration   ranged-for over a std::unordered_* container:
-                        iteration order is implementation-defined, so any
-                        trace/report output fed from it is nondeterministic.
+  unordered-iteration   ranged-for over a std::unordered_* container.
   unordered-in-report   any std::unordered_* use inside the output-producing
-                        layers (harness, trace, stats, smi), where ordering
-                        always ends up user-visible.
+                        layers (harness, trace, stats, smi).
+  pointer-keyed-map     std::map/std::set keyed by a raw pointer (iterates
+                        in allocation order, which differs run to run).
   uninitialized-pod     POD member/variable declarations with no
-                        initializer; reads before first write are UB and
-                        run-to-run dependent.
+                        initializer.
   direct-io             printf/puts/fwrite/std::cout in the transport and
-                        link layers (src/{quic,tcp,cc,net}): those layers
-                        must report through the obs:: trace/metrics sinks,
-                        never by writing to stdio — ad-hoc prints corrupt
-                        bench stdout (which is diffed byte-for-byte) and
-                        bypass the structured artifacts.
+                        link layers (src/{quic,tcp,cc,net}).
 
 False positives go in tools/lint_allowlist.txt as
     <rule> <path-substring> [<line-content-substring>]
-one entry per line; '#' starts a comment.
+one entry per line; '#' starts a comment. Inline
+`// ll-analysis: allow(<rule>) <reason>` suppressions also work.
 
 Usage: lint.py <dir-or-file>...   (exit 0 clean, 1 findings, 2 bad usage)
 """
 
-import re
 import sys
 from pathlib import Path
 
-# Path fragments whose files produce ordered, user-visible output (reports,
-# traces, inferred state machines): unordered containers are banned outright
-# there, not just their iteration.
-ORDER_SENSITIVE_PATHS = ("harness/", "net/trace", "stats/", "smi/")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Layers that must emit through obs:: sinks instead of writing to stdio.
-SINK_ENFORCED_PATHS = ("quic/", "tcp/", "cc/", "net/")
+from analysis import main as _analysis_main  # noqa: E402
 
-DIRECT_IO = re.compile(
-    r"\bf?printf\s*\(|\bfputs\s*\(|\bfputc\s*\(|\bputs\s*\("
-    r"|\bfwrite\s*\(|std::c(?:out|err|log)\b"
-)
-
-POD_TYPES = (
-    r"(?:bool|char|short|int|long|float|double|unsigned(?:\s+(?:char|short|int|long))?"
-    r"|std::size_t|std::ptrdiff_t|std::u?int(?:8|16|32|64)_t"
-    r"|Duration|TimePoint|PacketNumber|EventId|StreamId|Port|Address)"
-)
-
-LINE_RULES = [
-    (
-        "wall-clock",
-        re.compile(
-            r"\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b"
-            r"|\bgettimeofday\b|\bclock_gettime\b|\bstd::time\b"
-            r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|\blocaltime\b|\bgmtime\b"
-        ),
-        "wall-clock time source (virtual time comes from Simulator::now())",
-    ),
-    (
-        "raw-rand",
-        re.compile(
-            r"\b(?:std::)?srand\s*\(|\b(?:std::)?rand\s*\(\s*\)"
-            r"|\bdrand48\b|\brandom\s*\(\s*\)|\bstd::random_device\b"
-            r"|\bstd::mt19937|\bstd::default_random_engine\b"
-        ),
-        "nondeterministic RNG (use util/Rng seeded from the scenario)",
-    ),
-    (
-        "unordered-iteration",
-        re.compile(r"for\s*\([^;)]*:[^)]*unordered"),
-        "iterating an unordered container (order is implementation-defined)",
-    ),
-    (
-        # std::map/set ordered by a raw pointer key: iteration follows
-        # allocation addresses, which vary run to run (ASLR, allocator
-        # state), so anything folded out of it is nondeterministic even
-        # though the container itself is "ordered".
-        "pointer-keyed-map",
-        re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*[^<>,]*\*\s*[,>]"),
-        "pointer-keyed ordered container (iterates in allocation order, "
-        "which differs run to run)",
-    ),
-]
-
-POD_DECL = re.compile(
-    r"^\s*(?:static\s+)?(?:mutable\s+)?" + POD_TYPES +
-    r"\s+\w+(?:\s*\[\w*\])?\s*;\s*$"
-)
+_ALLOWLIST = Path(__file__).resolve().parent / "lint_allowlist.txt"
 
 
-def load_allowlist(repo_root: Path):
-    entries = []
-    path = repo_root / "tools" / "lint_allowlist.txt"
-    if not path.exists():
-        return entries
-    for raw in path.read_text().splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split(None, 2)
-        rule = parts[0]
-        path_sub = parts[1] if len(parts) > 1 else ""
-        content_sub = parts[2] if len(parts) > 2 else ""
-        entries.append((rule, path_sub, content_sub))
-    return entries
-
-
-def allowed(entries, rule, path, line):
-    for e_rule, e_path, e_content in entries:
-        if e_rule != rule:
-            continue
-        if e_path and e_path not in path:
-            continue
-        if e_content and e_content not in line:
-            continue
-        return True
-    return False
-
-
-def strip_comments(text: str) -> str:
-    """Blanks out // and /* */ comments, preserving line structure."""
-    out = []
-    i = 0
-    n = len(text)
-    in_block = False
-    while i < n:
-        c = text[i]
-        if in_block:
-            if text.startswith("*/", i):
-                in_block = False
-                i += 2
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-            continue
-        if text.startswith("//", i):
-            while i < n and text[i] != "\n":
-                i += 1
-            continue
-        if text.startswith("/*", i):
-            in_block = True
-            i += 2
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def lint_file(path: Path, rel: str, entries, findings):
-    text = strip_comments(path.read_text())
-    order_sensitive = any(frag in rel for frag in ORDER_SENSITIVE_PATHS)
-    sink_enforced = any(frag in rel for frag in SINK_ENFORCED_PATHS)
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        for rule, pattern, message in LINE_RULES:
-            if pattern.search(line) and not allowed(entries, rule, rel, line):
-                findings.append((rel, lineno, rule, message, line.strip()))
-        if sink_enforced and DIRECT_IO.search(line):
-            rule = "direct-io"
-            if not allowed(entries, rule, rel, line):
-                findings.append((
-                    rel, lineno, rule,
-                    "direct stdio in a sink-enforced layer "
-                    "(emit obs:: trace events / metrics instead)",
-                    line.strip(),
-                ))
-        if order_sensitive and "std::unordered_" in line:
-            rule = "unordered-in-report"
-            if not allowed(entries, rule, rel, line):
-                findings.append((
-                    rel, lineno, rule,
-                    "unordered container in an output-producing layer",
-                    line.strip(),
-                ))
-        if POD_DECL.match(line):
-            rule = "uninitialized-pod"
-            if not allowed(entries, rule, rel, line):
-                findings.append((
-                    rel, lineno, rule,
-                    "POD declaration without an initializer",
-                    line.strip(),
-                ))
-
-
-def main(argv):
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
+def main(argv) -> int:
+    paths = [a for a in argv[1:] if not a.startswith("-")]
+    if not paths:
+        print("usage: lint.py <dir-or-file>...", file=sys.stderr)
         return 2
-    repo_root = Path(__file__).resolve().parent.parent
-    files = []
-    for arg in argv[1:]:
-        p = Path(arg)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc")))
-        elif p.is_file():
-            files.append(p)
-        else:
-            print(f"lint.py: no such path: {arg}", file=sys.stderr)
-            return 2
-    entries = load_allowlist(repo_root)
-    findings = []
-    for f in sorted(set(files)):
-        try:
-            rel = str(f.resolve().relative_to(repo_root))
-        except ValueError:
-            rel = str(f)
-        lint_file(f, rel, entries, findings)
-    for rel, lineno, rule, message, line in findings:
-        print(f"{rel}:{lineno}: [{rule}] {message}: {line}")
-    if findings:
-        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    args = [argv[0], "--legacy-only",
+            "--allowlist", str(_ALLOWLIST)] + paths
+    return _analysis_main(args)
 
 
 if __name__ == "__main__":
