@@ -20,6 +20,7 @@ struct Ablation {
 double quic_mean(const Scenario& scenario, const Workload& w,
                  const quic::QuicConfig& cfg) {
   CompareOptions opts;
+  longlook::bench::apply(opts);
   opts.quic = cfg;
   quic::TokenCache tokens;
   Scenario warm = scenario;
@@ -112,6 +113,11 @@ int main(int argc, char** argv) {
     const double baseline = quic_mean(a.scenario, a.workload, {});
     const double variant = quic_mean(a.scenario, a.workload, a.variant);
     const double delta = (variant / baseline - 1.0) * 100.0;
+    auto& ctx = longlook::bench::context();
+    ctx.record_scalar("Ablations", a.name + " baseline_us",
+                      std::llround(baseline * 1e6));
+    ctx.record_scalar("Ablations", a.name + " variant_us",
+                      std::llround(variant * 1e6));
     rows.push_back({a.name, format_fixed(baseline, 3), format_fixed(variant, 3),
                     (delta >= 0 ? "+" : "") + format_fixed(delta, 1) + "%",
                     a.expectation});
@@ -120,5 +126,5 @@ int main(int argc, char** argv) {
   print_table(std::cout, "QUIC mechanism ablations (PLT seconds)",
               {"Ablation", "baseline", "variant", "delta", "expectation"},
               rows);
-  return 0;
+  return longlook::bench::finish();
 }

@@ -122,5 +122,14 @@ int main(int argc, char** argv) {
               bbr_inf.always_precedes("Startup", "Drain") ? "yes" : "NO");
   std::printf("  Drain always precedes ProbeBW:   %s\n",
               bbr_inf.always_precedes("Drain", "ProbeBW") ? "yes" : "NO");
-  return 0;
+  auto& ctx = longlook::bench::context();
+  ctx.record_scalar("State-machine inference", "cubic_traces",
+                    static_cast<std::int64_t>(cubic_inf.trace_count()));
+  ctx.record_scalar("State-machine inference", "cubic_states",
+                    static_cast<std::int64_t>(cubic_inf.states().size()));
+  ctx.record_scalar("State-machine inference", "bbr_traces",
+                    static_cast<std::int64_t>(bbr_inf.trace_count()));
+  ctx.record_scalar("State-machine inference", "bbr_states",
+                    static_cast<std::int64_t>(bbr_inf.states().size()));
+  return longlook::bench::finish();
 }

@@ -8,7 +8,7 @@ namespace {
 using namespace longlook;
 using namespace longlook::harness;
 
-void run_panel(const char* label, int tcp_flows) {
+void run_panel(const char* label, const char* scalar_prefix, int tcp_flows) {
   Scenario s;
   s.rate_bps = 5'000'000;
   s.buffer_bytes = 30 * 1024;
@@ -37,6 +37,10 @@ void run_panel(const char* label, int tcp_flows) {
   std::printf("averages: ");
   for (const auto& r : reports) {
     std::printf("%s=%.2f Mbps  ", r.name.c_str(), r.avg_mbps);
+    longlook::bench::context().record_scalar(
+        "Fig. 4 average throughput (kbps)",
+        std::string(scalar_prefix) + " " + r.name + "_kbps",
+        std::llround(r.avg_mbps * 1000));
   }
   std::printf("\n");
 }
@@ -49,10 +53,10 @@ int main(int argc, char** argv) {
       "QUIC/TCP unfairness timelines over a shared 5 Mbps bottleneck "
       "(RTT=36ms, buffer=30KB)",
       "Fig. 4 (Sec. 5.1)");
-  run_panel("Fig. 4a: QUIC vs TCP", 1);
-  run_panel("Fig. 4b: QUIC vs TCPx2", 2);
+  run_panel("Fig. 4a: QUIC vs TCP", "4a", 1);
+  run_panel("Fig. 4b: QUIC vs TCPx2", "4b", 2);
   std::printf(
       "\nPaper's finding: QUIC consumes roughly twice the bottleneck\n"
       "bandwidth of the competing TCP flows, despite both using Cubic.\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -50,5 +50,10 @@ int main(int argc, char** argv) {
       "Paper's finding: QUIC achieves and holds the larger window (Fig. 5a)\n"
       "by increasing it more often and more steeply (Fig. 5b).\n",
       quic_avg, tcp_avg, quic_avg / std::max(tcp_avg, 1.0));
-  return 0;
+  auto& ctx = longlook::bench::context();
+  ctx.record_scalar("Fig. 5 steady-state cwnd", "quic_cwnd_kb",
+                    std::llround(quic_avg));
+  ctx.record_scalar("Fig. 5 steady-state cwnd", "tcp_cwnd_kb",
+                    std::llround(tcp_avg));
+  return longlook::bench::finish();
 }

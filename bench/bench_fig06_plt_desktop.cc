@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
       "large numbers of small objects, where Hybrid Slow Start's early exit\n"
       "(triggered by the multiplexing-induced rise in minimum observed RTT)\n"
       "leaves QUIC's window too small for the short transfer (Sec. 5.2).\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   // One cell per (rate, workload); every paired round is a pool job.
   SweepRunner runner;
+  runner.set_profiler(longlook::bench::context().profiler());
   ProgressReporter progress(stderr);
   std::vector<std::vector<CellResult>> grid(
       rates.size(), std::vector<CellResult>(cols.size()));
@@ -40,16 +41,21 @@ int main(int argc, char** argv) {
       s.rate_bps = rates[r];
       CompareOptions with_0rtt;  // warm token cache: 0-RTT
       with_0rtt.rounds = longlook::bench::rounds();
+      longlook::bench::apply(with_0rtt);
       CompareOptions without;
       without.rounds = with_0rtt.rounds;
       without.quic.enable_zero_rtt = false;
       without.warm_zero_rtt = false;
+      longlook::bench::apply(without);
       compare_quic_pair_async(runner, s, cols[c].second, with_0rtt, without,
                               &grid[r][c], &progress);
     }
   }
   runner.wait_all();
   progress.finish();
+  longlook::bench::context().record_grid(
+      "Fig. 7: PLT gain of 0-RTT over 1-RTT establishment", row_labels,
+      col_labels, grid);
 
   std::vector<std::vector<HeatmapCell>> cells;
   for (const auto& grid_row : grid) {
@@ -63,5 +69,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper's finding: the 0-RTT benefit is largest for small objects\n"
       "and statistically insignificant for 10MB objects.\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
       "\nPaper's finding: QUIC outperforms TCP under loss (better recovery,\n"
       "no HOL blocking) and under high delay (0-RTT), but high latency does\n"
       "not rescue the many-small-objects case.\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -48,5 +48,12 @@ int main(int argc, char** argv) {
       "TCP=%.1f Mbps.\nPaper's finding: under the same loss, QUIC recovers "
       "faster and holds a\nlarger window on average.\n",
       q, t, reports[0].avg_mbps, reports[1].avg_mbps);
-  return 0;
+  auto& ctx = longlook::bench::context();
+  ctx.record_scalar("Fig. 9 summary", "quic_avg_cwnd_kb", std::llround(q));
+  ctx.record_scalar("Fig. 9 summary", "tcp_avg_cwnd_kb", std::llround(t));
+  ctx.record_scalar("Fig. 9 summary", "quic_goodput_kbps",
+                    std::llround(reports[0].avg_mbps * 1000));
+  ctx.record_scalar("Fig. 9 summary", "tcp_goodput_kbps",
+                    std::llround(reports[1].avg_mbps * 1000));
+  return longlook::bench::finish();
 }

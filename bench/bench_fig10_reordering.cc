@@ -35,12 +35,16 @@ int main(int argc, char** argv) {
   {
     std::vector<double> plts;
     CompareOptions opts;
+    longlook::bench::apply(opts);
     for (int r = 0; r < n; ++r) {
       if (auto plt = run_tcp_page_load(reorder_scenario(300 + r), page, opts)) {
         plts.push_back(*plt);
       }
     }
     const auto s = stats::summarize(plts);
+    longlook::bench::context().record_scalar(
+        "Fig. 10: PLT by loss-detection policy",
+        "TCP (DSACK adaptive) mean_us", std::llround(s.mean * 1e6));
     rows.push_back({"TCP (DSACK adaptive)", format_fixed(s.mean, 2),
                     format_fixed(s.stddev, 2), "-", "-"});
   }
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
   };
   for (const Variant& v : variants) {
     CompareOptions opts;
+    longlook::bench::apply(opts);
     opts.quic.loss_mode = v.mode;
     opts.quic.nack_threshold = v.threshold;
     std::vector<double> plts;
@@ -90,6 +95,9 @@ int main(int argc, char** argv) {
       std::fputc('.', stderr);
     }
     const auto s = stats::summarize(plts);
+    longlook::bench::context().record_scalar(
+        "Fig. 10: PLT by loss-detection policy", v.label + " mean_us",
+        std::llround(s.mean * 1e6));
     rows.push_back({v.label, format_fixed(s.mean, 2),
                     format_fixed(s.stddev, 2),
                     std::to_string(losses / static_cast<std::uint64_t>(n)),
@@ -108,5 +116,5 @@ int main(int argc, char** argv) {
       "raising the threshold (or adopting DSACK-style adaptation / time-\n"
       "based detection, which the QUIC team was experimenting with)\n"
       "restores performance.\n");
-  return 0;
+  return longlook::bench::finish();
 }

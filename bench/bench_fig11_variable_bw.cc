@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
     CompareOptions opts;
     opts.timeout = seconds(600);
     opts.setup = make_schedule(s.seed);
+    longlook::bench::apply(opts);
     quic::TokenCache tokens;
     (void)run_quic_page_load(s, {1, 1024}, opts, tokens);  // warm 0-RTT
     if (auto plt = run_quic_page_load(s, {1, kTransferBytes}, opts, tokens)) {
@@ -97,5 +98,10 @@ int main(int argc, char** argv) {
       "Paper's finding: QUIC tracks the fluctuating rate more closely and\n"
       "achieves substantially higher average throughput.\n",
       n, q.mean, q.stddev, t.mean, t.stddev);
-  return 0;
+  auto& ctx = longlook::bench::context();
+  ctx.record_scalar("Fig. 11: 210MB under variable bandwidth",
+                    "quic_mean_kbps", std::llround(q.mean * 1000));
+  ctx.record_scalar("Fig. 11: 210MB under variable bandwidth",
+                    "tcp_mean_kbps", std::llround(t.mean * 1000));
+  return longlook::bench::finish();
 }

@@ -41,5 +41,5 @@ int main(int argc, char** argv) {
       "\nPaper's finding: QUIC still mostly wins on phones, but its margin\n"
       "shrinks (Nexus 6) or flips (MotoG, a 2013 device) because userspace\n"
       "packet consumption — not the network — becomes the bottleneck.\n");
-  return 0;
+  return longlook::bench::finish();
 }

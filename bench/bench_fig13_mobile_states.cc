@@ -71,5 +71,12 @@ int main(int argc, char** argv) {
       "— the app, not the network, is the bottleneck on mobile.\n",
       desktop.time_fraction("ApplicationLimited") * 100,
       motog.time_fraction("ApplicationLimited") * 100);
-  return 0;
+  auto& ctx = longlook::bench::context();
+  ctx.record_scalar(
+      "Fig. 13 ApplicationLimited residency (basis points)", "desktop_bp",
+      std::llround(desktop.time_fraction("ApplicationLimited") * 10000));
+  ctx.record_scalar(
+      "Fig. 13 ApplicationLimited residency (basis points)", "motog_bp",
+      std::llround(motog.time_fraction("ApplicationLimited") * 10000));
+  return longlook::bench::finish();
 }

@@ -42,5 +42,5 @@ int main(int argc, char** argv) {
       "desktop case (0-RTT gains grow with the higher RTT). On 3G, higher\n"
       "reordering erodes QUIC's edge and high variance renders many cells\n"
       "statistically insignificant ('·').\n");
-  return 0;
+  return longlook::bench::finish();
 }

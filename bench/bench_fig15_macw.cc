@@ -43,12 +43,16 @@ int main(int argc, char** argv) {
   CompareOptions a;  // MACW 2000
   a.quic.version = quic::deployed_profile(37);
   a.rounds = longlook::bench::rounds();
+  longlook::bench::apply(a);
   CompareOptions b;  // MACW 430
   b.quic.version = quic::deployed_profile(37);
   b.quic.version.macw_packets = 430;
   b.rounds = a.rounds;
+  longlook::bench::apply(b);
   const CellResult r =
       compare_quic_pair(uncapped, {1, 100 * 1024 * 1024}, a, b);
+  longlook::bench::context().record_cell("Fig. 15 ablation: MACW 2000 vs 430",
+                                         "uncapped", "100MB", r);
   std::printf(
       "\nAblation, 100MB on an uncapped link: MACW=2000 %.2fs vs MACW=430 "
       "%.2fs (%+.1f%%)\n"
@@ -56,5 +60,5 @@ int main(int argc, char** argv) {
       "larger gains for big transfers on fast networks; with MACW pinned to\n"
       "430, v34 and v37 are indistinguishable.\n",
       r.quic_mean_s, r.tcp_mean_s, r.pct_diff);
-  return 0;
+  return longlook::bench::finish();
 }

@@ -65,5 +65,5 @@ int main(int argc, char** argv) {
       "\nPaper's finding: a TCP proxy shrinks QUIC's edge in low-latency and\n"
       "lossy scenarios (faster recovery on the shorter segment), but QUIC\n"
       "still wins under high path delay thanks to 0-RTT.\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     }
 
     SweepRunner runner;
+    runner.set_profiler(longlook::bench::context().profiler());
     ProgressReporter progress(stderr);
     std::vector<std::vector<CellResult>> grid(
         rates.size(), std::vector<CellResult>(cols.size()));
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
         s.loss_rate = loss;
         CompareOptions direct;
         direct.rounds = longlook::bench::rounds();
+        longlook::bench::apply(direct);
         CompareOptions proxied = direct;
         proxied.quic_connect_to_mid = true;
         proxied.quic_connect_port = kProxyPort;
@@ -60,6 +62,10 @@ int main(int argc, char** argv) {
     }
     runner.wait_all();
     progress.finish();
+    longlook::bench::context().record_grid(
+        "Fig. 18 (loss=" + std::to_string(loss) +
+            "): direct QUIC vs proxied QUIC",
+        row_labels, col_labels, grid);
 
     std::vector<std::vector<HeatmapCell>> cells;
     for (const auto& grid_row : grid) {
@@ -79,5 +85,5 @@ int main(int argc, char** argv) {
       "\nPaper's finding: the proxy hurts small objects (no end-to-end\n"
       "0-RTT) and helps large objects under loss — a mixed result for an\n"
       "unoptimized QUIC proxy.\n");
-  return 0;
+  return longlook::bench::finish();
 }

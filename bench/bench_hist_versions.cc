@@ -14,6 +14,7 @@ double mean_plt(const quic::QuicConfig& cfg, const Workload& w) {
   warm.rate_bps = 100'000'000;
   warm.seed = 77;
   CompareOptions opts;
+  longlook::bench::apply(opts);
   opts.quic = cfg;
   (void)run_quic_page_load(warm, {1, 1024}, opts, tokens);
   std::vector<double> plts;
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
     quic::QuicConfig cfg;
     cfg.version = quic::deployed_profile(version);
     const double plt = mean_plt(cfg, big);
+    longlook::bench::context().record_scalar(
+        "Historical versions", "v" + std::to_string(version) + "_mean_us",
+        std::llround(plt * 1e6));
     if (version == 34) v34 = plt;
     rows.push_back({"QUIC " + std::to_string(version),
                     std::to_string(cfg.version.macw_packets),
@@ -69,5 +73,5 @@ int main(int argc, char** argv) {
       "Chromium-52 configuration is ~2x slower (MACW=107 + ssthresh bug).\n"
       "Reference v34 PLT: %.3f s\n",
       v34);
-  return 0;
+  return longlook::bench::finish();
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   for (std::size_t mspc : {std::size_t{100}, std::size_t{50}, std::size_t{25},
                            std::size_t{10}, std::size_t{4}, std::size_t{1}}) {
     CompareOptions opts;
+    longlook::bench::apply(opts);
     opts.quic.max_streams = mspc;
     quic::TokenCache tokens;
     Scenario warm = s;
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
       }
     }
     const auto sum = stats::summarize(plts);
+    longlook::bench::context().record_scalar(
+        "MSPC sweep", "mspc_" + std::to_string(mspc) + "_mean_us",
+        std::llround(sum.mean * 1e6));
     if (mspc == 100) baseline = sum.mean;
     rows.push_back({std::to_string(mspc), format_fixed(sum.mean, 3),
                     format_fixed(sum.stddev, 3),
@@ -52,5 +56,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper's finding: MSPC barely matters down to moderate values, but\n"
       "MSPC=1 serialises all requests and worsens PLT substantially.\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -46,6 +46,10 @@ void print_scenario(const char* label, const std::vector<AggFlow>& flows,
   bool first = true;
   for (const auto& f : flows) {
     const auto s = stats::summarize(f.mbps);
+    longlook::bench::context().record_scalar(
+        "Table 4 average throughput (kbps)",
+        std::string(label) + " " + f.name + "_kbps",
+        std::llround(s.mean * 1000));
     rows.push_back({first ? label : "", f.name,
                     format_fixed(s.mean, 2) + " (" +
                         format_fixed(s.stddev, 2) + ")"});
@@ -75,5 +79,5 @@ int main(int argc, char** argv) {
       "\nPaper's finding: same-protocol pairs share fairly; QUIC vs TCP is\n"
       "unfair, with QUIC taking >50%% of the bottleneck even against 2 and 4\n"
       "competing TCP flows (paper: 2.71 vs 1.62 / 2.8 vs 1.66 / 2.75 vs 1.67).\n");
-  return 0;
+  return longlook::bench::finish();
 }

@@ -81,6 +81,19 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> rows;
   for (const CellularProfile& p : cellular_profiles()) {
     const Measured m = measure(p);
+    auto& ctx = longlook::bench::context();
+    ctx.record_scalar("Table 5 measured characteristics",
+                      std::string(p.name) + " throughput_kbps",
+                      std::llround(m.throughput_mbps * 1000));
+    ctx.record_scalar("Table 5 measured characteristics",
+                      std::string(p.name) + " rtt_us",
+                      std::llround(m.rtt_ms * 1000));
+    ctx.record_scalar("Table 5 measured characteristics",
+                      std::string(p.name) + " reorder_bp",
+                      std::llround(m.reorder_pct * 100));
+    ctx.record_scalar("Table 5 measured characteristics",
+                      std::string(p.name) + " loss_bp",
+                      std::llround(m.loss_pct * 100));
     rows.push_back({p.name,
                     format_fixed(m.throughput_mbps, 2) + " / " +
                         format_fixed(p.throughput_mbps, 2),
@@ -100,5 +113,5 @@ int main(int argc, char** argv) {
               "reordering %, loss %)",
               {"Network", "Thrghpt", "RTT (std)", "Reordering", "Loss"},
               rows);
-  return 0;
+  return longlook::bench::finish();
 }

@@ -18,7 +18,10 @@ void emit_run_start(obs::TraceSink* sink, const char* proto,
                     const Scenario& scenario, const Workload& workload,
                     TimePoint now) {
   if (sink == nullptr) return;
+  // "v" is the trace schema version (docs/trace_schema.md); v2 added the
+  // run:hist record type.
   sink->record(obs::TraceEvent("run:start", now)
+                   .u("v", 2)
                    .s("proto", proto)
                    .s("scenario", scenario.name)
                    .u("seed", scenario.seed)
@@ -48,6 +51,20 @@ void fold_link_metrics(obs::MetricsRegistry& m, const std::string& p,
          up.delivered_out_of_order + down.delivered_out_of_order);
 }
 
+// Folds the run's simulator/link work volume into the profiler shard. The
+// values themselves are deterministic (virtual-time bookkeeping); only the
+// wall-time histograms alongside them vary run to run.
+void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb) {
+  if (prof == nullptr) return;
+  prof->add("runs", 1);
+  prof->add("sim_events", tb.sim().dispatched_events());
+  prof->add("timer_ops", tb.sim().timer_ops());
+  const LinkStats& up = tb.uplink().stats();
+  const LinkStats& down = tb.downlink().stats();
+  prof->add("packets_forwarded", up.delivered + down.delivered);
+  prof->add("bytes_moved", up.bytes_delivered + down.bytes_delivered);
+}
+
 }  // namespace
 
 std::optional<double> run_quic_page_load(const Scenario& scenario,
@@ -55,6 +72,8 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
                                          const CompareOptions& opts,
                                          quic::TokenCache& tokens,
                                          const RunObserver* observer) {
+  obs::ProfilerShard* prof = obs::Profiler::local(opts.profiler);
+  obs::ScopedTimer run_timer(prof, "run:quic");
   obs::TraceSink* sink = observer != nullptr ? observer->trace : nullptr;
   // Tracing enabled: run under a copy of the options that carries the sink
   // into both endpoints' transport configs. Disabled: the original options
@@ -93,6 +112,7 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
   const bool done = tb.run_until([&] { return loader.finished(); },
                                  eff->timeout);
   emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
+  fold_profile_counters(prof, tb);
 
   if (observer != nullptr && observer->metrics != nullptr) {
     obs::MetricsRegistry& m = *observer->metrics;
@@ -117,7 +137,12 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
       m.incr(p + "server_rto_count", ss.rto_count);
     }
     fold_link_metrics(m, p, tb);
-    if (sink != nullptr) m.record_to(*sink, tb.sim().now());
+    if (done) m.observe(p + "plt_us", loader.result().plt.count() / 1000);
+    if (sink != nullptr) {
+      // Histograms first: run:metrics stays the artifact's last line.
+      m.record_histograms_to(*sink, tb.sim().now());
+      m.record_to(*sink, tb.sim().now());
+    }
   }
   if (!done) return std::nullopt;
   return to_seconds(loader.result().plt);
@@ -127,6 +152,8 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
                                         const Workload& workload,
                                         const CompareOptions& opts,
                                         const RunObserver* observer) {
+  obs::ProfilerShard* prof = obs::Profiler::local(opts.profiler);
+  obs::ScopedTimer run_timer(prof, "run:tcp");
   obs::TraceSink* sink = observer != nullptr ? observer->trace : nullptr;
   CompareOptions traced;
   const CompareOptions* eff = &opts;
@@ -159,6 +186,7 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
   const bool done = tb.run_until([&] { return loader.finished(); },
                                  eff->timeout);
   emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
+  fold_profile_counters(prof, tb);
 
   if (observer != nullptr && observer->metrics != nullptr) {
     obs::MetricsRegistry& m = *observer->metrics;
@@ -183,7 +211,12 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
       m.incr(p + "server_rto_count", ss.rto_count);
     }
     fold_link_metrics(m, p, tb);
-    if (sink != nullptr) m.record_to(*sink, tb.sim().now());
+    if (done) m.observe(p + "plt_us", loader.result().plt.count() / 1000);
+    if (sink != nullptr) {
+      // Histograms first: run:metrics stays the artifact's last line.
+      m.record_histograms_to(*sink, tb.sim().now());
+      m.record_to(*sink, tb.sim().now());
+    }
   }
   if (!done) return std::nullopt;
   return to_seconds(loader.result().plt);

@@ -12,6 +12,7 @@
 #include "http/h2_session.h"
 #include "http/quic_session.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "stats/stats.h"
 
@@ -49,6 +50,12 @@ struct CompareOptions {
   // Optional label folded into trace file names (defaults to the scenario
   // name).
   std::string trace_label;
+  // Testbed self-observability: when non-null, every page-load run folds
+  // its simulator/link work counters (events dispatched, timer ops, packets
+  // forwarded, bytes moved) and wall time into the calling worker's shard.
+  // nullptr == profiling disabled, zero cost, byte-identical output. Must
+  // outlive the sweep.
+  obs::Profiler* profiler = nullptr;
 };
 
 struct CellResult {

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace longlook::harness {
@@ -131,12 +132,16 @@ void SweepRunner::worker_loop() {
     std::function<void()> fn = std::move(job.fn);
     job.fn = nullptr;
     lock.unlock();
+    obs::ProfilerShard* shard =
+        obs::Profiler::local(profiler_.load(std::memory_order_relaxed));
     std::exception_ptr error;
     try {
+      obs::ScopedTimer timer(shard, "job");
       fn();
     } catch (...) {
       error = std::current_exception();
     }
+    if (shard != nullptr) shard->add("jobs_executed", 1);
     lock.lock();
     settle_locked(t, error ? JobState::kFailed : JobState::kDone, error);
   }

@@ -18,6 +18,7 @@
 // parallel-equals-serial proof and the TSan leg keeps the pool honest.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <deque>
 #include <functional>
@@ -26,6 +27,10 @@
 #include <vector>
 
 #include "util/thread_annotations.h"
+
+namespace longlook::obs {
+class Profiler;
+}  // namespace longlook::obs
 
 namespace longlook::harness {
 
@@ -89,6 +94,14 @@ class SweepRunner {
   std::size_t completed() const;  // ran to completion without throwing
   std::size_t abandoned() const;  // never ran: shutdown or failed dependency
 
+  // Attaches a profiler: every executed job is wall-timed into the calling
+  // worker's shard (key "job", counter "jobs_executed"). nullptr (the
+  // default) detaches — workers fall back to the zero-cost null path. The
+  // profiler must outlive the runner or the next set_profiler call.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_.store(profiler, std::memory_order_relaxed);
+  }
+
  private:
   enum class JobState { kBlocked, kReady, kRunning, kDone, kFailed, kAbandoned };
 
@@ -109,6 +122,7 @@ class SweepRunner {
   mutable util::Mutex mu_;
   util::CondVar work_cv_;  // workers: ready job or stop
   util::CondVar done_cv_;  // waiters: a job settled
+  std::atomic<obs::Profiler*> profiler_{nullptr};
   // Ordered: wait_all scans in ticket order.
   std::map<Ticket, Job> jobs_ LL_GUARDED_BY(mu_);
   std::deque<Ticket> ready_ LL_GUARDED_BY(mu_);  // FIFO dispatch

@@ -1,0 +1,111 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace longlook::obs {
+
+namespace {
+
+// 16 linear sub-buckets per power of two above the exact range.
+constexpr int kSubBuckets = 16;
+constexpr int kSubBits = 4;  // log2(kSubBuckets)
+// Values below 2 * kSubBuckets get one bucket each (exact).
+constexpr std::int64_t kExactLimit = 2 * kSubBuckets;  // 32
+
+}  // namespace
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kExactLimit) return static_cast<int>(value);
+  const std::uint64_t u = static_cast<std::uint64_t>(value);
+  const int msb = std::bit_width(u) - 1;  // >= 5 here
+  const int sub =
+      static_cast<int>((u >> (msb - kSubBits)) & (kSubBuckets - 1));
+  return static_cast<int>(kExactLimit) + (msb - 5) * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_lower_bound(int index) {
+  if (index < 0) return 0;
+  if (index < kExactLimit) return index;
+  const int oct = (index - static_cast<int>(kExactLimit)) / kSubBuckets;
+  const int sub = (index - static_cast<int>(kExactLimit)) % kSubBuckets;
+  return static_cast<std::int64_t>(kSubBuckets + sub) << (oct + 1);
+}
+
+void Histogram::observe(std::int64_t value) {
+  if (value < 0) value = 0;
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested sample, 1-based; ceil without float rounding
+  // surprises: the smallest rank r with r >= q * count.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      return std::clamp(bucket_lower_bound(index), min_, max_);
+    }
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+std::string Histogram::to_json() const {
+  std::string out = "{\"count\":" + std::to_string(count_);
+  if (count_ > 0) {
+    out += ",\"sum\":" + std::to_string(sum_);
+    out += ",\"min\":" + std::to_string(min_);
+    out += ",\"max\":" + std::to_string(max_);
+    out += ",\"p50\":" + std::to_string(p50());
+    out += ",\"p90\":" + std::to_string(p90());
+    out += ",\"p99\":" + std::to_string(p99());
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (const auto& [index, n] : buckets_) {
+      if (!first) out += ',';
+      first = false;
+      out += '[';
+      out += std::to_string(index);
+      out += ',';
+      out += std::to_string(n);
+      out += ']';
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace longlook::obs

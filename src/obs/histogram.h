@@ -1,0 +1,75 @@
+// Log-linear fixed-bucket histogram for integer samples.
+//
+// One type serves two masters: sim-time metric distributions (PLT per cell,
+// deterministic — lands in the *deterministic* section of BENCH_*.json and
+// in `run:hist` trace records) and wall-clock profiles from obs::Profiler
+// (nondeterministic — lands only in the *profile* section). Both uses need
+// the same properties:
+//
+//   * merge is order-invariant: buckets/count/sum add, min/max fold with
+//     min()/max(), so folding per-round or per-worker histograms in any
+//     order yields byte-identical serialization (the LL_JOBS=1 == LL_JOBS=8
+//     contract, proven in tests/test_profiler.cc);
+//   * serialization is integer-only: no floats anywhere, so rendered JSON
+//     is byte-stable across platforms.
+//
+// Bucketing is HdrHistogram-flavoured log-linear: values 0..31 get exact
+// unit buckets, larger values fall into 16 linear sub-buckets per power of
+// two, bounding the relative quantile error at 1/16 (6.25%). Quantiles
+// report the bucket's lower bound clamped into [min, max], so quantiles of
+// exact-bucket data are exact.
+//
+// Histogram is a value type with no internal lock; owners that share one
+// across threads guard it with their own util::Mutex (MetricsRegistry,
+// ProfilerShard).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace longlook::obs {
+
+class Histogram {
+ public:
+  // Negative samples clamp to 0 (durations and counts are never negative;
+  // clamping keeps the bucket math branch-free for callers).
+  void observe(std::int64_t value);
+  void merge(const Histogram& other);
+
+  bool empty() const { return count_ == 0; }
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return min_; }  // 0 when empty
+  std::int64_t max() const { return max_; }  // 0 when empty
+
+  // q in [0, 1]; returns the lower bound of the bucket holding the sample
+  // of rank ceil(q * count), clamped into [min, max]. 0 when empty.
+  std::int64_t quantile(double q) const;
+  std::int64_t p50() const { return quantile(0.50); }
+  std::int64_t p90() const { return quantile(0.90); }
+  std::int64_t p99() const { return quantile(0.99); }
+
+  // {"count":2,"sum":7,"min":3,"max":4,"p50":3,"p90":4,"p99":4,
+  //  "buckets":[[3,1],[4,1]]} — buckets are [index, count] pairs in index
+  // order; every value is an integer. Empty histograms render {"count":0}.
+  std::string to_json() const;
+
+  // Sparse [bucket index -> sample count] map, index order.
+  const std::map<int, std::uint64_t>& buckets() const { return buckets_; }
+
+  // Exposed for tests and for tools/ that rebuild bucket boundaries.
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_lower_bound(int index);
+
+  bool operator==(const Histogram& other) const = default;
+
+ private:
+  std::map<int, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace longlook::obs

@@ -14,6 +14,7 @@ MetricsRegistry::MetricsRegistry(const MetricsRegistry& other)
   util::MutexLock theirs(other.mu_);
   counters_ = other.counters_;
   gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
 }
 
 MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other)
@@ -25,6 +26,7 @@ MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other)
   second->lock();
   counters_ = other.counters_;
   gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
   second->unlock();
   first->unlock();
   return *this;
@@ -39,35 +41,34 @@ void MetricsRegistry::merge(const MetricsRegistry& other)
   second->lock();
   for (const auto& [key, value] : other.counters_) counters_[key] += value;
   for (const auto& [key, value] : other.gauges_) gauges_[key] = value;
+  for (const auto& [key, hist] : other.histograms_) {
+    histograms_[key].merge(hist);
+  }
   second->unlock();
   first->unlock();
 }
 
 std::string MetricsRegistry::to_json() const {
   util::MutexLock lock(mu_);
+  // Fold the three namespaces into key order: later inserts overwrite, so
+  // a duplicate key prefers the counter, then the gauge.
+  std::map<std::string, std::string> rendered;
+  for (const auto& [key, hist] : histograms_) rendered[key] = hist.to_json();
+  for (const auto& [key, value] : gauges_) {
+    rendered[key] = std::to_string(value);
+  }
+  for (const auto& [key, value] : counters_) {
+    rendered[key] = std::to_string(value);
+  }
   std::string out = "{";
   bool first = true;
-  auto append = [&](const std::string& key, const std::string& value) {
+  for (const auto& [key, value] : rendered) {
     if (!first) out += ',';
     first = false;
     out += '"';
     append_json_escaped(out, key);
     out += "\":";
     out += value;
-  };
-  // Two-way sorted merge so the combined namespace renders in key order.
-  auto c = counters_.begin();
-  auto g = gauges_.begin();
-  while (c != counters_.end() || g != gauges_.end()) {
-    if (g == gauges_.end() ||
-        (c != counters_.end() && c->first <= g->first)) {
-      append(c->first, std::to_string(c->second));
-      if (g != gauges_.end() && g->first == c->first) ++g;  // counter wins
-      ++c;
-    } else {
-      append(g->first, std::to_string(g->second));
-      ++g;
-    }
   }
   out += '}';
   return out;
@@ -81,6 +82,42 @@ void MetricsRegistry::record_to(TraceSink& sink, TimePoint at) const {
     for (const auto& [key, value] : gauges_) ev.i(key, value);
   }
   sink.record(ev);
+}
+
+void MetricsRegistry::record_histograms_to(TraceSink& sink,
+                                           TimePoint at) const {
+  // Copied out so record() never runs under mu_ (sinks lock their own
+  // mutexes; keeping the lock scopes disjoint keeps the order trivial).
+  std::map<std::string, Histogram> hists;
+  {
+    util::MutexLock lock(mu_);
+    hists = histograms_;
+  }
+  for (const auto& [key, hist] : hists) {
+    std::string buckets = "[";
+    bool first = true;
+    for (const auto& [index, n] : hist.buckets()) {
+      if (!first) buckets += ',';
+      first = false;
+      buckets += '[';
+      buckets += std::to_string(index);
+      buckets += ',';
+      buckets += std::to_string(n);
+      buckets += ']';
+    }
+    buckets += ']';
+    TraceEvent ev("run:hist", at);
+    ev.s("key", key)
+        .u("count", hist.count())
+        .i("sum", hist.sum())
+        .i("min", hist.min())
+        .i("max", hist.max())
+        .i("p50", hist.p50())
+        .i("p90", hist.p90())
+        .i("p99", hist.p99())
+        .s("buckets", buckets);
+    sink.record(ev);
+  }
 }
 
 }  // namespace longlook::obs

@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.h"
 #include "util/thread_annotations.h"
 #include "util/time.h"
 
@@ -48,19 +49,33 @@ class MetricsRegistry {
     util::MutexLock lock(mu_);
     gauges_[std::string(key)] = value;
   }
+  // Distribution samples (units are fixed by key convention, e.g. *_us);
+  // merge folds histograms bucket-wise, which is order-invariant, so folded
+  // distributions keep the same byte-identical-at-any-LL_JOBS contract as
+  // the counters.
+  void observe(std::string_view key, std::int64_t value) {
+    util::MutexLock lock(mu_);
+    histograms_[std::string(key)].observe(value);
+  }
 
   std::uint64_t counter(std::string_view key) const {
     util::MutexLock lock(mu_);
     auto it = counters_.find(std::string(key));
     return it == counters_.end() ? 0 : it->second;
   }
+  // Copy of the named histogram (empty when the key is absent).
+  Histogram histogram(std::string_view key) const {
+    util::MutexLock lock(mu_);
+    auto it = histograms_.find(std::string(key));
+    return it == histograms_.end() ? Histogram{} : it->second;
+  }
   bool empty() const {
     util::MutexLock lock(mu_);
-    return counters_.empty() && gauges_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
   std::size_t size() const {
     util::MutexLock lock(mu_);
-    return counters_.size() + gauges_.size();
+    return counters_.size() + gauges_.size() + histograms_.size();
   }
 
   // Render-path accessors; see the thread-safety note above.
@@ -72,24 +87,35 @@ class MetricsRegistry {
     util::MutexLock lock(mu_);
     return gauges_;
   }
+  const std::map<std::string, Histogram>& histograms() const {
+    util::MutexLock lock(mu_);
+    return histograms_;
+  }
 
   // Folds `other` into this registry (counters sum, gauges overwrite).
   // Self-merge is a no-op. Safe against a concurrent merge in the other
   // direction (locks are taken in address order).
   void merge(const MetricsRegistry& other);
 
-  // One sorted JSON object: {"a":1,"b":2}. Counters and gauges share the
-  // namespace; a duplicate key prefers the counter.
+  // One sorted JSON object: {"a":1,"b":2}. Counters, gauges, and histograms
+  // share the namespace (histograms render as nested objects); a duplicate
+  // key prefers the counter, then the gauge.
   std::string to_json() const;
 
-  // Emits the whole registry as a single "run:metrics" trace event (the
+  // Emits the scalar registry as a single "run:metrics" trace event (the
   // artifact's footer line).
   void record_to(TraceSink& sink, TimePoint at) const;
+
+  // Emits one "run:hist" (schema v2) event per histogram, in key order.
+  // Callers emit these before the record_to() footer so "run:metrics" stays
+  // the artifact's last line (pinned by tests/test_obs.cc).
+  void record_histograms_to(TraceSink& sink, TimePoint at) const;
 
  private:
   mutable util::Mutex mu_;
   std::map<std::string, std::uint64_t> counters_ LL_GUARDED_BY(mu_);
   std::map<std::string, std::int64_t> gauges_ LL_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ LL_GUARDED_BY(mu_);
 };
 
 }  // namespace longlook::obs

@@ -1,0 +1,112 @@
+#include "obs/profiler.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace longlook::obs {
+
+void ProfilerShard::add(std::string_view key, std::uint64_t delta) {
+  if (delta == 0) return;
+  util::MutexLock lock(mu_);
+  counters_[std::string(key)] += delta;
+}
+
+void ProfilerShard::observe_wall_ns(std::string_view key, std::int64_t ns) {
+  util::MutexLock lock(mu_);
+  wall_ns_[std::string(key)].observe(ns);
+}
+
+std::uint64_t ProfilerSnapshot::counter(std::string_view key) const {
+  auto it = counters.find(std::string(key));
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string ProfilerSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"wall_ns\":{";
+  first = true;
+  for (const auto& [key, hist] : wall_ns) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\":";
+    out += hist.to_json();
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+// Distinguishes profilers across create/destroy cycles: a recycled heap
+// address must not revive another thread's stale cache entry.
+std::atomic<std::uint64_t> g_next_profiler_id{1};
+
+}  // namespace
+
+Profiler::Profiler()
+    : id_(g_next_profiler_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+ProfilerShard& Profiler::shard() {
+  struct Cache {
+    std::uint64_t id = 0;
+    ProfilerShard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.id == id_ && cache.shard != nullptr) return *cache.shard;
+  auto owned = std::make_unique<ProfilerShard>();
+  ProfilerShard* raw = owned.get();
+  {
+    util::MutexLock lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.id = id_;
+  cache.shard = raw;
+  return *raw;
+}
+
+ProfilerSnapshot Profiler::snapshot() const {
+  ProfilerSnapshot snap;
+  util::MutexLock lock(mu_);
+  for (const auto& shard : shards_) {
+    util::MutexLock shard_lock(shard->mu_);
+    for (const auto& [key, value] : shard->counters_) {
+      snap.counters[key] += value;
+    }
+    for (const auto& [key, hist] : shard->wall_ns_) {
+      snap.wall_ns[key].merge(hist);
+    }
+  }
+  return snap;
+}
+
+std::int64_t Profiler::wall_now_ns() {
+  // ll-analysis: allow(wall-clock) the profiler IS the sanctioned wall-clock reader; sim layers stay virtual-time
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedTimer::ScopedTimer(ProfilerShard* shard, std::string_view key)
+    : shard_(shard), key_(key) {
+  if (shard_ != nullptr) start_ns_ = Profiler::wall_now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (shard_ == nullptr) return;
+  shard_->observe_wall_ns(key_, Profiler::wall_now_ns() - start_ns_);
+}
+
+}  // namespace longlook::obs

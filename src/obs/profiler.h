@@ -1,0 +1,107 @@
+// Wall-clock self-observability for the testbed itself.
+//
+// The simulation is virtual-time by construction — the determinism lint
+// bans wall-clock reads in the quic/tcp/cc/net/sim layers (rule
+// `wall-clock-outside-obs`). But the ROADMAP north star ("as fast as the
+// hardware allows") needs the complement: how long does the *harness* take,
+// in real seconds, to dispatch how many simulated events? The Profiler is
+// the one sanctioned wall-clock reader in the tree: scoped timers and
+// per-subsystem counters (sim events dispatched, packets forwarded, timer
+// ops, bytes moved), fed by the harness and benches, rendered into the
+// *profile* section of BENCH_<name>.json.
+//
+// Sharding: each thread that touches a Profiler gets its own ProfilerShard
+// (created and registered on first use), so pool workers never contend on a
+// hot lock mid-sweep. snapshot() merges the shards; counter sums and
+// histogram merges are order-invariant, so the merged counters are
+// deterministic for deterministic work even though shard registration order
+// follows thread scheduling. Wall-time histograms are, of course, only as
+// repeatable as the hardware.
+//
+// Null path: every entry point takes the profiler (or shard) as a nullable
+// pointer and the disabled branch is a single pointer compare — no clock
+// read, no formatting, no allocation — so profiling-off runs are
+// byte-identical to pre-profiler builds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/thread_annotations.h"
+
+namespace longlook::obs {
+
+// One thread's accumulation slot. Internally locked so snapshot() can read
+// concurrently with the owning thread; in practice the lock is uncontended
+// (one owner writes, snapshots happen after wait_all()).
+class ProfilerShard {
+ public:
+  void add(std::string_view key, std::uint64_t delta);
+  void observe_wall_ns(std::string_view key, std::int64_t ns);
+
+ private:
+  friend class Profiler;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::uint64_t> counters_ LL_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> wall_ns_ LL_GUARDED_BY(mu_);
+};
+
+// Order-invariant merge of every shard; plain data, caller-owned.
+struct ProfilerSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Histogram> wall_ns;
+
+  std::uint64_t counter(std::string_view key) const;
+  // {"counters":{...},"wall_ns":{"job":{<histogram>},...}} — integers only.
+  std::string to_json() const;
+};
+
+class Profiler {
+ public:
+  Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // The calling thread's shard, created and registered on first use. The
+  // reference stays valid for the Profiler's lifetime.
+  ProfilerShard& shard();
+
+  // Null-safe accessor: the disabled path is this one pointer compare.
+  static ProfilerShard* local(Profiler* profiler) {
+    return profiler != nullptr ? &profiler->shard() : nullptr;
+  }
+
+  ProfilerSnapshot snapshot() const;
+
+  // Monotonic wall-clock nanoseconds. The only wall-clock read in the
+  // repository; everything else is virtual time.
+  static std::int64_t wall_now_ns();
+
+ private:
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<ProfilerShard>> shards_ LL_GUARDED_BY(mu_);
+};
+
+// RAII wall-clock timer: records elapsed ns into `shard` under `key` on
+// destruction. A null shard reads no clock at all.
+class ScopedTimer {
+ public:
+  // `key` must outlive the timer (callers pass string literals).
+  ScopedTimer(ProfilerShard* shard, std::string_view key);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ProfilerShard* shard_;
+  std::string_view key_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace longlook::obs

@@ -19,6 +19,7 @@ EventId Simulator::push(TimePoint when, std::function<void()> fn) {
   pending_.emplace(ev->id, ev);
   queue_.push(ev);
   ++live_events_;
+  ++timer_ops_;
   return ev->id;
 }
 
@@ -35,6 +36,7 @@ EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
 void Simulator::cancel(EventId id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
+  ++timer_ops_;
   if (auto ev = it->second.lock()) {
     if (!ev->cancelled) {
       ev->cancelled = true;

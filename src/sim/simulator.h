@@ -46,6 +46,9 @@ class Simulator {
 
   std::size_t pending_events() const { return live_events_; }
   std::uint64_t dispatched_events() const { return dispatched_; }
+  // Timer churn: schedule + cancel calls (virtual-time bookkeeping volume;
+  // the harness folds this into the obs::Profiler per-run counters).
+  std::uint64_t timer_ops() const { return timer_ops_; }
 
  private:
   struct Event {
@@ -75,6 +78,7 @@ class Simulator {
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t timer_ops_ = 0;
 };
 
 }  // namespace longlook

@@ -35,6 +35,10 @@ EXPECTED_BAD = {
     "narrowing-time-arith": 6,
     "container-mutation-in-loop": 3,
     "missing-lock-annotation": 2,
+    # bad/sim/wall_clock_in_sim.cc: two reads, each firing both the
+    # everywhere-scoped legacy rule and the sim-layer-scoped new rule.
+    "wall-clock": 2,
+    "wall-clock-outside-obs": 2,
 }
 
 
@@ -75,10 +79,11 @@ def main_selftest() -> int:
         failures.append(
             "clean fixtures: expected no findings, got:\n  " +
             "\n  ".join(f.render() for f in result.findings))
-    if result.suppressed != 1:
+    if result.suppressed != 2:
         failures.append(
-            f"clean fixtures: expected exactly 1 suppressed finding "
-            f"(the demonstrative allow-note), got {result.suppressed}")
+            f"clean fixtures: expected exactly 2 suppressed findings "
+            f"(the demonstrative allow-note and the obs wall-clock "
+            f"exemption), got {result.suppressed}")
 
     # --- suppression misuse is a hard error ---------------------------------
     for fixture, fragment in [

@@ -1,0 +1,236 @@
+// Tests for the self-observability layer: the log-linear histogram
+// (bucketing bounds, quantiles, order-invariant merge, integer-only
+// serialization), the sharded profiler (per-thread shards, deterministic
+// snapshot merge, the zero-cost null path), and histogram support in
+// MetricsRegistry — including byte-identical aggregation no matter how the
+// per-worker pieces are partitioned or merged, which is what makes bench
+// JSON output LL_JOBS-independent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "util/rng.h"
+
+namespace longlook::obs {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.to_json(), "{\"count\":0}");
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::int64_t v = 0; v < 32; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+  // Below the exact limit every value owns its own bucket, so quantiles
+  // are exact.
+  EXPECT_EQ(h.quantile(0.5), 15);
+  EXPECT_EQ(h.p99(), 31);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.observe(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.p50(), 0);
+}
+
+TEST(Histogram, RelativeQuantileErrorIsBounded) {
+  // 16 linear sub-buckets per octave: the bucket lower bound is always
+  // within 1/16 = 6.25% of the true value.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t v =
+        static_cast<std::int64_t>(rng.uniform_int(1ull << 40)) + 32;
+    Histogram h;
+    h.observe(v);
+    const std::int64_t q = h.quantile(0.5);
+    EXPECT_LE(q, v);
+    EXPECT_GE(q, v - v / 16 - 1) << "value " << v;
+  }
+}
+
+TEST(Histogram, QuantilesOnKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(i);
+  // p50 ~ 500, p90 ~ 900, p99 ~ 990; allow the 6.25% bucketing error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 500.0 * 0.0625 + 1);
+  EXPECT_NEAR(static_cast<double>(h.p90()), 900.0, 900.0 * 0.0625 + 1);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990.0, 990.0 * 0.0625 + 1);
+  EXPECT_EQ(h.sum(), 500500);
+}
+
+TEST(Histogram, MergeIsOrderInvariant) {
+  // One reference histogram fed serially vs the same values partitioned
+  // across shards and merged in different orders: identical state and
+  // byte-identical serialization every way.
+  Rng rng(42);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.uniform_int(1'000'000)));
+  }
+  Histogram reference;
+  for (std::int64_t v : values) reference.observe(v);
+
+  for (int parts : {2, 3, 8}) {
+    std::vector<Histogram> shards(static_cast<std::size_t>(parts));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shards[i % shards.size()].observe(values[i]);
+    }
+    Histogram forward;
+    for (const Histogram& s : shards) forward.merge(s);
+    Histogram backward;
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+      backward.merge(*it);
+    }
+    EXPECT_EQ(forward, reference) << parts << " shards, forward merge";
+    EXPECT_EQ(backward, reference) << parts << " shards, backward merge";
+    EXPECT_EQ(forward.to_json(), reference.to_json());
+    EXPECT_EQ(backward.to_json(), reference.to_json());
+  }
+}
+
+TEST(Histogram, SerializationIsIntegerOnly) {
+  Histogram h;
+  h.observe(3);
+  h.observe(123456789);
+  const std::string json = h.to_json();
+  // No decimal point anywhere: every value serializes as a plain integer.
+  EXPECT_EQ(json.find('.'), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":"), std::string::npos) << json;
+}
+
+TEST(Profiler, NullPathIsInert) {
+  EXPECT_EQ(Profiler::local(nullptr), nullptr);
+  // A null shard must make the timer a no-op (no clock read, no write).
+  { ScopedTimer t(nullptr, "never"); }
+  Profiler p;
+  const auto snap = p.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.wall_ns.empty());
+}
+
+TEST(Profiler, CountersAggregateAcrossThreads) {
+  Profiler p;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p] {
+      ProfilerShard* shard = Profiler::local(&p);
+      ASSERT_NE(shard, nullptr);
+      for (int i = 0; i < kIncrements; ++i) shard->add("events", 1);
+      shard->add("bytes", 512);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = p.snapshot();
+  EXPECT_EQ(snap.counter("events"), kThreads * kIncrements);
+  EXPECT_EQ(snap.counter("bytes"), kThreads * 512);
+  EXPECT_EQ(snap.counter("missing"), 0);
+}
+
+TEST(Profiler, SnapshotMergeIsDeterministic) {
+  // Two profilers fed the same totals through different shard layouts must
+  // serialize identically: counters sum, wall histograms merge bucket-wise.
+  Profiler a;
+  Profiler b;
+  std::thread t1([&a] {
+    ProfilerShard* s = Profiler::local(&a);
+    s->add("jobs", 3);
+    s->observe_wall_ns("job", 1000);
+    s->observe_wall_ns("job", 2000);
+  });
+  t1.join();
+  std::thread t2([&a] {
+    ProfilerShard* s = Profiler::local(&a);
+    s->add("jobs", 5);
+    s->observe_wall_ns("job", 3000);
+  });
+  t2.join();
+  ProfilerShard* s = Profiler::local(&b);
+  s->add("jobs", 8);
+  s->observe_wall_ns("job", 3000);
+  s->observe_wall_ns("job", 2000);
+  s->observe_wall_ns("job", 1000);
+  EXPECT_EQ(a.snapshot().to_json(), b.snapshot().to_json());
+}
+
+TEST(Profiler, ScopedTimerRecordsElapsed) {
+  Profiler p;
+  ProfilerShard* shard = Profiler::local(&p);
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer t(shard, "scope");
+  }
+  const auto snap = p.snapshot();
+  const auto it = snap.wall_ns.find("scope");
+  ASSERT_NE(it, snap.wall_ns.end());
+  EXPECT_EQ(it->second.count(), 3u);
+}
+
+TEST(Profiler, LocalReusesTheThreadShard) {
+  Profiler p;
+  ProfilerShard* first = Profiler::local(&p);
+  ProfilerShard* second = Profiler::local(&p);
+  EXPECT_EQ(first, second);
+  // A different profiler on the same thread gets a different shard.
+  Profiler q;
+  EXPECT_NE(Profiler::local(&q), first);
+}
+
+TEST(MetricsHistograms, ObserveAndRender) {
+  MetricsRegistry m;
+  m.observe("plt_us", 100);
+  m.observe("plt_us", 200);
+  m.incr("runs", 2);
+  EXPECT_EQ(m.histogram("plt_us").count(), 2u);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"plt_us\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos) << json;
+}
+
+TEST(MetricsHistograms, MergePartitionInvariance) {
+  // The same observations split across worker-local registries and merged
+  // in any order serialize byte-identically — the LL_JOBS independence
+  // property for the deterministic bench sections.
+  Rng rng(11);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.uniform_int(500'000)));
+  }
+  MetricsRegistry serial;
+  for (std::int64_t v : values) {
+    serial.observe("plt_us", v);
+    serial.incr("runs");
+  }
+  for (int workers : {1, 8}) {
+    std::vector<MetricsRegistry> locals(static_cast<std::size_t>(workers));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      locals[i % locals.size()].observe("plt_us", values[i]);
+      locals[i % locals.size()].incr("runs");
+    }
+    std::reverse(locals.begin(), locals.end());
+    MetricsRegistry merged;
+    for (const MetricsRegistry& l : locals) merged.merge(l);
+    EXPECT_EQ(merged.to_json(), serial.to_json()) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace longlook::obs

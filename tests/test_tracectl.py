@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Self-test for tools/tracectl.py and tools/bench_report.py (ctest
+`tracectl-selftest`).
+
+Pins the trace-analysis CLI:
+
+  * `validate` accepts a schema-conformant v1 and v2 artifact;
+  * `validate` reports (never crashes on) malformed, truncated, float-
+    bearing, out-of-order, and non-object lines, with file:line errors;
+  * `detect` flags a seeded spurious-loss storm / handshake stall /
+    cwnd collapse and stays silent on a clean trace;
+  * `diff` reports per-event-class deltas and exits 0 on identical dirs;
+  * bench_report `det` output is canonical (byte-equal for equal
+    deterministic sections) and `check` gates on it.
+
+Usage: test_tracectl.py   (exit 0 pass, 1 fail)
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import bench_report  # noqa: E402
+import tracectl  # noqa: E402
+
+failures = []
+
+
+def check(cond, message):
+    if not cond:
+        failures.append(message)
+
+
+def run(module, argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        try:
+            code = module.main(argv)
+        except SystemExit as e:  # argparse errors
+            code = e.code
+    return code, out.getvalue(), err.getvalue()
+
+
+def write_trace(path, lines):
+    with open(path, "w", encoding="utf-8") as f:
+        for line in lines:
+            f.write(line if isinstance(line, str) else json.dumps(line))
+            f.write("\n")
+
+
+def clean_trace_lines(version=2):
+    start = {"t": 0, "ev": "run:start", "proto": "quic", "scenario": "clean",
+             "seed": 1, "objects": 1, "object_bytes": 1024}
+    if version >= 2:
+        start = {"t": 0, "ev": "run:start", "v": version, **{
+            k: v for k, v in start.items() if k not in ("t", "ev")}}
+    lines = [
+        start,
+        {"t": 0, "ev": "quic:handshake", "side": "client",
+         "msg": "full_chlo"},
+        {"t": 36000000, "ev": "quic:established", "side": "client",
+         "rtts": 1},
+        {"t": 36000000, "ev": "cc:state", "side": "server", "from": "Init",
+         "to": "SlowStart"},
+        {"t": 36000000, "ev": "cc:cwnd", "side": "server", "cwnd": 43200},
+        {"t": 40000000, "ev": "quic:packet_sent", "side": "server", "pn": 1,
+         "bytes": 1392, "rtxable": True},
+        {"t": 76000000, "ev": "quic:ack_processed", "side": "server",
+         "largest": 1, "acked": 1, "lost": 0, "spurious": 0,
+         "rtt_ns": 36000000},
+        {"t": 80000000, "ev": "cc:cwnd", "side": "server", "cwnd": 57600},
+        {"t": 90000000, "ev": "quic:stream_fin", "side": "client", "sid": 3,
+         "bytes": 1024},
+        {"t": 90000000, "ev": "run:summary", "plt_ns": 90000000},
+    ]
+    if version >= 2:
+        lines.append({"t": 90000000, "ev": "run:hist", "key": "quic.plt_us",
+                      "count": 1, "sum": 90000, "min": 90000, "max": 90000,
+                      "p50": 90000, "p90": 90000, "p99": 90000,
+                      "buckets": "[[218,1]]"})
+    lines.append({"t": 90000000, "ev": "run:metrics", "quic.runs": 1})
+    return lines
+
+
+def storm_trace_lines():
+    """A clean skeleton plus a burst of spurious losses inside one second."""
+    lines = clean_trace_lines()[:-1]  # keep run:metrics for the end
+    t = 100000000
+    for pn in range(10):
+        lines.append({"t": t, "ev": "quic:spurious_loss", "side": "server",
+                      "pn": pn + 10, "bytes": 1392})
+        t += 50000000  # 10 spurious declarations across 0.45s
+    lines.append({"t": t, "ev": "run:metrics", "quic.runs": 1})
+    return lines
+
+
+def test_validate_ok(td):
+    for version in (1, 2):
+        p = os.path.join(td, f"v{version}.jsonl")
+        write_trace(p, clean_trace_lines(version))
+        code, out, err = run(tracectl, ["validate", p])
+        check(code == 0, f"validate v{version}: expected 0, got {code}: "
+              f"{out}{err}")
+
+
+def test_validate_rejects(td):
+    cases = {
+        "malformed.jsonl": ['{"t":0,"ev":"run:start","pro',
+                            '{"t":1,"ev":"x:y"}'],
+        "not_object.jsonl": ['[1,2,3]'],
+        "float_field.jsonl": ['{"t":0,"ev":"run:start","proto":"quic",'
+                              '"scenario":"s","seed":1,"objects":1,'
+                              '"object_bytes":1,"ratio":0.5}'],
+        "time_backwards.jsonl": [
+            '{"t":5,"ev":"run:start","proto":"quic","scenario":"s","seed":1,'
+            '"objects":1,"object_bytes":1}',
+            '{"t":3,"ev":"quic:close","side":"client"}'],
+        "missing_fields.jsonl": [
+            '{"t":0,"ev":"run:start","proto":"quic","scenario":"s","seed":1,'
+            '"objects":1,"object_bytes":1}',
+            '{"t":1,"ev":"quic:packet_sent","side":"client"}'],
+        "empty.jsonl": [],
+        "bad_version.jsonl": [
+            '{"t":0,"ev":"run:start","v":99,"proto":"quic","scenario":"s",'
+            '"seed":1,"objects":1,"object_bytes":1}'],
+        "hist_in_v1.jsonl": [
+            '{"t":0,"ev":"run:start","proto":"quic","scenario":"s","seed":1,'
+            '"objects":1,"object_bytes":1}',
+            '{"t":1,"ev":"run:hist","key":"k","count":1,"sum":1,"min":1,'
+            '"max":1,"p50":1,"p90":1,"p99":1,"buckets":"[[0,1]]"}'],
+    }
+    for name, lines in cases.items():
+        p = os.path.join(td, name)
+        write_trace(p, lines)
+        code, out, err = run(tracectl, ["validate", p])
+        check(code == 1, f"{name}: expected exit 1, got {code}: {out}{err}")
+        check(name in out, f"{name}: error lines must carry the file name")
+    # Truncated mid-line (no trailing newline) must be an error, not a crash.
+    p = os.path.join(td, "truncated.jsonl")
+    with open(p, "w", encoding="utf-8") as f:
+        f.write('{"t":0,"ev":"run:start","proto":"quic","scenario":"s",'
+                '"seed":1,"objects":1,"object_bytes":1}\n')
+        f.write('{"t":1,"ev":"quic:est')
+    code, out, _ = run(tracectl, ["validate", p])
+    check(code == 1, f"truncated: expected exit 1, got {code}")
+    check("truncated" in out or "malformed" in out,
+          f"truncated: expected a truncation/parse error, got: {out}")
+    # Binary garbage must produce errors, never an exception.
+    p = os.path.join(td, "garbage.jsonl")
+    with open(p, "wb") as f:
+        f.write(b"\x00\xff\xfe{not json}\n\x80\x81\n")
+    code, _, _ = run(tracectl, ["validate", p])
+    check(code == 1, f"garbage: expected exit 1, got {code}")
+
+
+def test_detect(td):
+    clean = os.path.join(td, "detect_clean.jsonl")
+    write_trace(clean, clean_trace_lines())
+    code, out, err = run(tracectl, ["detect", clean])
+    check(code == 0, f"detect clean: expected 0, got {code}: {out}{err}")
+    check(out == "", f"detect clean: expected silence, got: {out}")
+
+    storm = os.path.join(td, "detect_storm.jsonl")
+    write_trace(storm, storm_trace_lines())
+    code, out, _ = run(tracectl, ["detect", storm])
+    check(code == 1, f"detect storm: expected 1, got {code}")
+    check("spurious-loss-storm" in out,
+          f"detect storm: expected a spurious-loss-storm finding, got: {out}")
+
+    # Handshake stall: established far too late.
+    stall_lines = clean_trace_lines()
+    for obj in stall_lines:
+        if obj.get("ev") in ("quic:established",):
+            obj["t"] = 5_000_000_000
+    stall = os.path.join(td, "detect_stall.jsonl")
+    write_trace(stall, stall_lines)
+    code, out, _ = run(tracectl, ["detect", stall])
+    check(code == 1 and "handshake-stall" in out,
+          f"detect stall: expected handshake-stall, got rc={code}: {out}")
+
+    # cwnd collapse: peak then a tiny final window.
+    collapse_lines = clean_trace_lines()[:-1]
+    collapse_lines.append({"t": 95000000, "ev": "cc:cwnd", "side": "server",
+                           "cwnd": 400000})
+    collapse_lines.append({"t": 96000000, "ev": "cc:cwnd", "side": "server",
+                           "cwnd": 2700})
+    collapse_lines.append({"t": 97000000, "ev": "run:metrics",
+                           "quic.runs": 1})
+    collapse = os.path.join(td, "detect_collapse.jsonl")
+    write_trace(collapse, collapse_lines)
+    code, out, _ = run(tracectl, ["detect", collapse])
+    check(code == 1 and "cwnd-collapse" in out,
+          f"detect collapse: expected cwnd-collapse, got rc={code}: {out}")
+
+
+def test_summarize_and_diff(td):
+    a_dir = os.path.join(td, "dir_a")
+    b_dir = os.path.join(td, "dir_b")
+    os.makedirs(a_dir)
+    os.makedirs(b_dir)
+    write_trace(os.path.join(a_dir, "r0.jsonl"), clean_trace_lines())
+    write_trace(os.path.join(b_dir, "r0.jsonl"), clean_trace_lines())
+    code, out, err = run(tracectl, ["summarize", a_dir])
+    check(code == 0, f"summarize: expected 0, got {code}: {err}")
+    check("proto=quic" in out and "handshake: 1 RTT" in out,
+          f"summarize output incomplete: {out}")
+    code, out, _ = run(tracectl, ["diff", a_dir, b_dir])
+    check(code == 0, f"diff identical: expected 0, got {code}: {out}")
+    write_trace(os.path.join(b_dir, "r0.jsonl"), storm_trace_lines())
+    code, out, _ = run(tracectl, ["diff", a_dir, b_dir])
+    check(code == 1 and "quic:spurious_loss" in out,
+          f"diff differing: expected spurious_loss delta, got rc={code}: "
+          f"{out}")
+
+
+def bench_result(name, cell_value, wall_ns):
+    return {
+        "v": 1, "name": name, "rounds": 1,
+        "deterministic": {"sections": [
+            {"title": "T", "cells": [{"row": "r", "col": "c",
+                                      "value": cell_value}]}]},
+        "profile": {"wall_ns": wall_ns, "jobs": 4,
+                    "events_per_sec": 1000000},
+    }
+
+
+def test_bench_report(td):
+    run_a = os.path.join(td, "run_a")
+    run_b = os.path.join(td, "run_b")
+    os.makedirs(run_a)
+    os.makedirs(run_b)
+    for d, wall in ((run_a, 10), (run_b, 11)):
+        with open(os.path.join(d, "BENCH_x.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(bench_result("x", 7, wall * 100000000), f)
+    # det: canonical output byte-equal despite differing profiles.
+    code_a, det_a, _ = run(bench_report,
+                           ["det", os.path.join(run_a, "BENCH_x.json")])
+    code_b, det_b, _ = run(bench_report,
+                           ["det", os.path.join(run_b, "BENCH_x.json")])
+    check(code_a == 0 and code_b == 0, "det: expected exit 0")
+    check(det_a == det_b, "det: equal deterministic sections must render "
+          "byte-identically")
+    # check: passes when deterministic matches, profile differences ignored.
+    code, out, _ = run(bench_report, ["check", run_b, "--baselines", run_a])
+    check(code == 0, f"check match: expected 0, got {code}: {out}")
+    # check: fails on a deterministic drift.
+    with open(os.path.join(run_b, "BENCH_x.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(bench_result("x", 8, 1100000000), f)
+    code, out, _ = run(bench_report, ["check", run_b, "--baselines", run_a])
+    check(code == 1 and "deterministic section differs" in out,
+          f"check drift: expected failure, got rc={code}: {out}")
+    # check: fails when a baseline result is missing from the new run.
+    os.remove(os.path.join(run_b, "BENCH_x.json"))
+    code, out, _ = run(bench_report, ["check", run_b, "--baselines", run_a])
+    check(code == 1 and "missing" in out,
+          f"check missing: expected failure, got rc={code}: {out}")
+    # diff: profile regression beyond threshold is flagged.
+    with open(os.path.join(run_b, "BENCH_x.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(bench_result("x", 7, 10_000_000_000), f)
+    code, out, _ = run(bench_report, ["diff", run_a, run_b,
+                                      "--threshold", "25"])
+    check(code == 1 and "profile regression" in out,
+          f"diff regression: expected flag, got rc={code}: {out}")
+    # summary renders one row per result.
+    code, out, _ = run(bench_report, ["summary", run_a])
+    check(code == 0 and "x" in out, f"summary: rc={code}: {out}")
+
+
+def main_selftest():
+    with tempfile.TemporaryDirectory() as td:
+        test_validate_ok(td)
+        test_validate_rejects(td)
+        test_detect(td)
+        test_summarize_and_diff(td)
+        test_bench_report(td)
+    if failures:
+        print("tracectl_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("tracectl_selftest: OK (validate strict + crash-free on fuzz "
+          "cases, detect golden, diff, bench_report det/check/diff pinned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_selftest())

@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads inside a simulation layer (the path carries
+// "sim/"). Each read must fire BOTH the everywhere-scoped legacy
+// `wall-clock` rule and the layer-scoped `wall-clock-outside-obs` rule.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t event_timestamp_ns() {
+  auto now = std::chrono::steady_clock::now();  // finding x2
+  return now.time_since_epoch().count();
+}
+
+std::int64_t calendar_seed() {
+  return std::chrono::system_clock::now()  // finding x2
+      .time_since_epoch()
+      .count();
+}

@@ -1,0 +1,13 @@
+// Fixture: the obs layer is exempt from `wall-clock-outside-obs` (the path
+// carries "obs/", not a sim-layer fragment), so only the everywhere-scoped
+// legacy `wall-clock` rule needs a suppression here — exactly how
+// src/obs/profiler.cc carries the one sanctioned wall-clock read.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t profiler_wall_now_ns() {
+  // ll-analysis: allow(wall-clock) the profiler is the sanctioned wall-clock reader
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -19,6 +19,11 @@ ORDER_SENSITIVE_PATHS = ("harness/", "net/trace", "stats/", "smi/")
 # Layers that must emit through obs:: sinks instead of writing to stdio.
 SINK_ENFORCED_PATHS = ("quic/", "tcp/", "cc/", "net/")
 
+# Simulation layers that run purely on virtual time: any wall-clock read
+# there is a determinism bug. obs (the profiler is the sanctioned reader),
+# harness, and bench are exempt.
+SIM_LAYER_PATHS = ("quic/", "tcp/", "cc/", "net/", "sim/")
+
 
 class RuleFinding(NamedTuple):
     line: int
@@ -42,6 +47,10 @@ def _order_sensitive(rel: str) -> bool:
 
 def _sink_enforced(rel: str) -> bool:
     return any(frag in rel for frag in SINK_ENFORCED_PATHS)
+
+
+def _sim_layer(rel: str) -> bool:
+    return any(frag in rel for frag in SIM_LAYER_PATHS)
 
 
 # --- token-stream helpers ---------------------------------------------------
@@ -137,6 +146,13 @@ def _check_wall_clock(tokens: List[Token]) -> List[RuleFinding]:
                 if not _is(prev1, "op", ".") and not _is(prev1, "op", "->"):
                     out.append(RuleFinding(t.line, msg))
     return out
+
+
+def _check_wall_clock_outside_obs(tokens: List[Token]) -> List[RuleFinding]:
+    msg = ("wall-clock read in a simulation layer (profiling wall time "
+           "belongs in obs::Profiler; obs/harness/bench are the only "
+           "sanctioned readers)")
+    return [RuleFinding(f.line, msg) for f in _check_wall_clock(tokens)]
 
 
 # --- legacy rule family: raw-rand ------------------------------------------
@@ -877,6 +893,9 @@ NEW_RULES = [
     Rule("missing-lock-annotation", _everywhere,
          _check_missing_lock_annotation,
          "Class has a mutex member but fields without LL_GUARDED_BY."),
+    Rule("wall-clock-outside-obs", _sim_layer, _check_wall_clock_outside_obs,
+         "steady_clock/system_clock read inside src/{quic,tcp,cc,net,sim}; "
+         "obs/harness/bench are exempt."),
 ]
 
 ALL_RULES = LEGACY_RULES + NEW_RULES

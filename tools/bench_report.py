@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""bench_report — aggregate, diff, and gate BENCH_<name>.json results.
+
+Every bench emits a versioned result file via `--json-out` / `LL_BENCH_JSON`
+(see bench/bench_common.h). Each file has two parts:
+
+  deterministic   per-cell metrics and integer-scaled summary statistics;
+                  byte-identical for a given build at any LL_JOBS
+  profile         wall time, throughput rates, profiler aggregate;
+                  machine- and load-dependent
+
+Subcommands:
+
+  summary <dir>                     render a table over a directory of results
+  det <file>                        print the canonical deterministic section
+                                    (for byte-exact comparison via cmp)
+  diff <dirA> <dirB> [--threshold]  deterministic exact, profile by threshold
+  check <dir> --baselines <dir>     CI gate: deterministic sections must match
+                                    the committed baselines exactly; profile is
+                                    threshold-only and off by default
+
+Exit codes: 0 ok, 1 mismatch/regression, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+RESULT_VERSION = 1
+
+
+def load_result(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    v = data.get("v")
+    if v != RESULT_VERSION:
+        raise ValueError(f"{path}: unsupported result version {v!r} "
+                         f"(expected {RESULT_VERSION})")
+    for key in ("name", "rounds", "deterministic", "profile"):
+        if key not in data:
+            raise ValueError(f"{path}: missing top-level key '{key}'")
+    return data
+
+
+def result_files(directory: str) -> List[str]:
+    if not os.path.isdir(directory):
+        raise ValueError(f"not a directory: {directory}")
+    names = sorted(n for n in os.listdir(directory)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    return [os.path.join(directory, n) for n in names]
+
+
+def canonical_det(data: dict) -> str:
+    """Canonical serialization of the deterministic section.
+
+    Key-sorted, fixed separators: equal sections always produce equal bytes,
+    so `cmp` on two `det` outputs is the LL_JOBS-independence check.
+    """
+    return json.dumps(data["deterministic"], sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def profile_rates(data: dict) -> Dict[str, float]:
+    prof = data.get("profile") or {}
+    out = {}
+    for key in ("wall_ns", "events_per_sec", "packets_per_sec",
+                "bytes_per_sec"):
+        v = prof.get(key)
+        if isinstance(v, (int, float)):
+            out[key] = float(v)
+    return out
+
+
+# ----------------------------------------------------------------- summary
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    try:
+        files = result_files(args.dir)
+    except ValueError as e:
+        print(f"bench_report summary: {e}", file=sys.stderr)
+        return 2
+    if not files:
+        print(f"bench_report summary: no BENCH_*.json in {args.dir}",
+              file=sys.stderr)
+        return 2
+    rows: List[Tuple[str, str, str, str, str, str]] = []
+    for path in files:
+        try:
+            data = load_result(path)
+        except (ValueError, OSError, json.JSONDecodeError) as e:
+            print(f"bench_report summary: {e}", file=sys.stderr)
+            return 2
+        sections = data["deterministic"].get("sections", [])
+        cells = sum(len(s.get("cells", [])) for s in sections)
+        rates = profile_rates(data)
+        rows.append((
+            data["name"],
+            str(data["rounds"]),
+            str(cells),
+            f"{rates.get('wall_ns', 0) / 1e9:.2f}",
+            f"{rates.get('events_per_sec', 0) / 1e6:.2f}",
+            f"{rates.get('packets_per_sec', 0) / 1e3:.1f}",
+        ))
+    headers = ("bench", "rounds", "cells", "wall_s", "Mev/s", "kpkt/s")
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return 0
+
+
+# --------------------------------------------------------------------- det
+
+
+def cmd_det(args: argparse.Namespace) -> int:
+    try:
+        data = load_result(args.file)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"bench_report det: {e}", file=sys.stderr)
+        return 2
+    sys.stdout.write(canonical_det(data))
+    return 0
+
+
+# ---------------------------------------------------------- diff and check
+
+
+def compare_pair(name: str, a: dict, b: dict, threshold_pct: float,
+                 check_profile: bool) -> List[str]:
+    """Return human-readable problems between result a (reference) and b."""
+    problems: List[str] = []
+    det_a, det_b = canonical_det(a), canonical_det(b)
+    if det_a != det_b:
+        sec_a = {s.get("title"): s for s in
+                 a["deterministic"].get("sections", [])}
+        sec_b = {s.get("title"): s for s in
+                 b["deterministic"].get("sections", [])}
+        for title in sorted(set(sec_a) | set(sec_b), key=str):
+            if title not in sec_b:
+                problems.append(f"{name}: section missing: {title!r}")
+            elif title not in sec_a:
+                problems.append(f"{name}: unexpected section: {title!r}")
+            elif json.dumps(sec_a[title], sort_keys=True) != \
+                    json.dumps(sec_b[title], sort_keys=True):
+                problems.append(f"{name}: deterministic section differs: "
+                                f"{title!r}")
+        if not problems:
+            problems.append(f"{name}: deterministic sections differ")
+    if check_profile:
+        ra, rb = profile_rates(a), profile_rates(b)
+        for key in sorted(set(ra) & set(rb)):
+            if ra[key] <= 0:
+                continue
+            # wall_ns regresses upward; the *_per_sec rates regress downward.
+            if key == "wall_ns":
+                delta_pct = (rb[key] / ra[key] - 1.0) * 100.0
+            else:
+                delta_pct = (1.0 - rb[key] / ra[key]) * 100.0
+            if delta_pct > threshold_pct:
+                problems.append(
+                    f"{name}: profile regression in {key}: "
+                    f"{ra[key]:.3g} -> {rb[key]:.3g} "
+                    f"({delta_pct:+.1f}% worse, threshold "
+                    f"{threshold_pct:g}%)")
+    return problems
+
+
+def diff_dirs(dir_a: str, dir_b: str, threshold_pct: float,
+              check_profile: bool, require_all: bool,
+              label_a: str, label_b: str) -> int:
+    try:
+        files_a = result_files(dir_a)
+        files_b = result_files(dir_b)
+    except ValueError as e:
+        print(f"bench_report: {e}", file=sys.stderr)
+        return 2
+    by_name_a = {os.path.basename(p): p for p in files_a}
+    by_name_b = {os.path.basename(p): p for p in files_b}
+    problems: List[str] = []
+    for name in sorted(set(by_name_a) - set(by_name_b)):
+        problems.append(f"{name}: present in {label_a}, missing in {label_b}")
+    if require_all:
+        for name in sorted(set(by_name_b) - set(by_name_a)):
+            problems.append(f"{name}: present in {label_b} but has no "
+                            f"committed baseline in {label_a}")
+    common = sorted(set(by_name_a) & set(by_name_b))
+    compared = 0
+    for name in common:
+        try:
+            a = load_result(by_name_a[name])
+            b = load_result(by_name_b[name])
+        except (ValueError, OSError, json.JSONDecodeError) as e:
+            problems.append(str(e))
+            continue
+        problems.extend(
+            compare_pair(name, a, b, threshold_pct, check_profile))
+        compared += 1
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"bench_report: {len(problems)} problem(s) across "
+              f"{compared} compared result(s)")
+        return 1
+    print(f"bench_report: {compared} result(s) match ({label_a} vs {label_b})")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    return diff_dirs(args.a, args.b, args.threshold,
+                     check_profile=True, require_all=False,
+                     label_a=args.a, label_b=args.b)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    return diff_dirs(args.baselines, args.dir, args.profile_threshold,
+                     check_profile=args.profile_threshold > 0,
+                     require_all=False,
+                     label_a="baselines", label_b=args.dir)
+
+
+# -------------------------------------------------------------------- main
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="bench_report", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("summary", help="table over a directory of results")
+    s.add_argument("dir")
+    s.set_defaults(fn=cmd_summary)
+
+    d = sub.add_parser("det",
+                       help="print canonical deterministic section (for cmp)")
+    d.add_argument("file")
+    d.set_defaults(fn=cmd_det)
+
+    f = sub.add_parser("diff", help="compare two result directories")
+    f.add_argument("a", help="reference run")
+    f.add_argument("b", help="candidate run")
+    f.add_argument("--threshold", type=float, default=25.0,
+                   help="profile regression threshold in percent")
+    f.set_defaults(fn=cmd_diff)
+
+    c = sub.add_parser("check",
+                       help="CI gate against committed baselines")
+    c.add_argument("dir", help="freshly produced results")
+    c.add_argument("--baselines", required=True,
+                   help="directory of committed BENCH_*.json baselines")
+    c.add_argument("--profile-threshold", type=float, default=0.0,
+                   help="also gate profile rates at this percent "
+                        "(0 = deterministic-only, the default)")
+    c.set_defaults(fn=cmd_check)
+    return p
+
+
+def main(argv: List[str]) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

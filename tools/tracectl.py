@@ -1,0 +1,551 @@
+#!/usr/bin/env python3
+"""tracectl — analysis CLI for longlook structured trace artifacts.
+
+Subcommands over the JSON-lines artifacts described in docs/trace_schema.md
+(schema v1 and v2):
+
+  validate   strict schema check; robust to malformed/truncated lines
+  summarize  per-connection timeline: handshake, retransmits, cwnd, stalls
+  detect     seeded anomaly rules: spurious-loss storms, handshake stalls,
+             cwnd collapse, ACK-delay outliers
+  diff       compare two trace dirs (or files) event-class by event-class
+
+Exit codes: 0 clean, 1 findings / validation errors, 2 usage or I/O error.
+The reader never crashes on malformed input: every problem is reported as
+`file:line: message`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+SCHEMA_VERSIONS = (1, 2)
+
+# Required fields per event name (beyond the t/ev envelope). Values are
+# checked for presence only; types are enforced by the flat-scalar rule.
+REQUIRED_FIELDS = {
+    "run:start": ["proto", "scenario", "seed", "objects", "object_bytes"],
+    "run:hist": ["key", "count", "sum", "min", "max", "p50", "p90", "p99",
+                 "buckets"],
+    "quic:packet_sent": ["side", "pn", "bytes", "rtxable"],
+    "quic:packet_received": ["side", "pn", "frames", "dup"],
+    "quic:handshake": ["side", "msg"],
+    "quic:established": ["side", "rtts"],
+    "quic:ack_processed": ["side", "largest", "acked", "lost", "spurious"],
+    "quic:packet_lost": ["side", "pn", "bytes"],
+    "quic:spurious_loss": ["side", "pn", "bytes"],
+    "quic:tlp": ["side", "n"],
+    "quic:rto": ["side", "n"],
+    "quic:stream_opened": ["side", "sid"],
+    "quic:stream_fin": ["side", "sid", "bytes"],
+    "quic:close": ["side"],
+    "tcp:established": ["side", "rtts"],
+    "tcp:segment_sent": ["side", "off", "len", "rtx"],
+    "tcp:segment_received": ["side", "seq", "len", "ack"],
+    "tcp:fast_retransmit": ["side", "off"],
+    "tcp:dsack": ["side", "thresh"],
+    "tcp:tlp": ["side", "n"],
+    "tcp:rto": ["side", "n"],
+    "cc:state": ["side", "from", "to"],
+    "cc:cwnd": ["side", "cwnd"],
+    "cc:bbr_state": ["side", "from", "to"],
+    "net:drop_queue": ["dir", "bytes", "proto"],
+    "net:drop_random": ["dir", "bytes", "proto"],
+    "net:reorder": ["dir", "seq", "depth"],
+}
+
+# v2-only record types (run:start carries "v": 2 when these may appear).
+V2_ONLY_EVENTS = {"run:hist"}
+
+
+@dataclass
+class TraceError:
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+@dataclass
+class Trace:
+    """One parsed artifact: good events plus every problem encountered."""
+
+    path: str
+    events: List[Tuple[int, dict]] = field(default_factory=list)  # (line, obj)
+    errors: List[TraceError] = field(default_factory=list)
+    version: int = 1
+
+    def err(self, line: int, message: str) -> None:
+        self.errors.append(TraceError(self.path, line, message))
+
+
+def parse_trace(path: str) -> Trace:
+    """Parse a JSON-lines artifact, accumulating errors instead of raising.
+
+    Malformed or truncated lines become TraceError entries; well-formed
+    events are kept so summarize/detect still work on partially-damaged
+    files.
+    """
+    trace = Trace(path=path)
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError as e:
+        trace.err(0, f"cannot read: {e}")
+        return trace
+    text = raw.decode("utf-8", errors="replace")
+    lines = text.split("\n")
+    # A well-formed artifact ends with a newline → last split element empty.
+    if lines and lines[-1] == "":
+        lines.pop()
+    elif lines:
+        trace.err(len(lines), "truncated: last line has no trailing newline")
+    for i, line in enumerate(lines, start=1):
+        if line == "":
+            trace.err(i, "blank line")
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            trace.err(i, f"malformed JSON: {e.msg} (col {e.colno})")
+            continue
+        if not isinstance(obj, dict):
+            trace.err(i, f"expected a JSON object, got {type(obj).__name__}")
+            continue
+        trace.events.append((i, obj))
+    for line_no, obj in trace.events:
+        if obj.get("ev") == "run:start":
+            v = obj.get("v", 1)
+            if isinstance(v, int):
+                trace.version = v
+            break
+    return trace
+
+
+def validate_trace(trace: Trace) -> None:
+    """Append schema-conformance errors to an already-parsed trace."""
+    last_t: Optional[int] = None
+    for idx, (line_no, obj) in enumerate(trace.events):
+        t = obj.get("t")
+        ev = obj.get("ev")
+        if not isinstance(t, int) or isinstance(t, bool) or t < 0:
+            trace.err(line_no, f"'t' must be a non-negative integer, got {t!r}")
+            continue
+        if not isinstance(ev, str) or ":" not in ev:
+            trace.err(line_no,
+                      f"'ev' must be a '<layer>:<event>' string, got {ev!r}")
+            continue
+        if last_t is not None and t < last_t:
+            trace.err(line_no,
+                      f"time went backwards: t={t} after t={last_t}")
+        last_t = t
+        for key, value in obj.items():
+            if isinstance(value, float):
+                trace.err(line_no, f"field '{key}' is a float ({value}); "
+                          "the schema allows only int/bool/string")
+            elif not isinstance(value, (int, bool, str)):
+                trace.err(line_no, f"field '{key}' has non-scalar type "
+                          f"{type(value).__name__}")
+        if idx == 0 and ev != "run:start":
+            trace.err(line_no, f"first event must be run:start, got {ev}")
+        required = REQUIRED_FIELDS.get(ev)
+        if required is not None:
+            missing = [k for k in required if k not in obj]
+            if missing:
+                trace.err(line_no,
+                          f"{ev} missing field(s): {', '.join(missing)}")
+        if ev == "run:start":
+            v = obj.get("v", 1)
+            if v not in SCHEMA_VERSIONS:
+                trace.err(line_no, f"unknown schema version {v!r} "
+                          f"(known: {SCHEMA_VERSIONS})")
+        if ev in V2_ONLY_EVENTS and trace.version < 2:
+            trace.err(line_no, f"{ev} requires schema v2, artifact is "
+                      f"v{trace.version}")
+        if ev == "run:hist" and isinstance(obj.get("buckets"), str):
+            try:
+                buckets = json.loads(obj["buckets"])
+                ok = isinstance(buckets, list) and all(
+                    isinstance(b, list) and len(b) == 2 and
+                    all(isinstance(x, int) for x in b) for b in buckets)
+                if not ok:
+                    raise ValueError("not a [[index,count],...] array")
+            except (json.JSONDecodeError, ValueError) as e:
+                trace.err(line_no, f"run:hist buckets unparseable: {e}")
+    if trace.events:
+        last_ev = trace.events[-1][1].get("ev")
+        if last_ev != "run:metrics":
+            trace.err(trace.events[-1][0],
+                      f"last event must be run:metrics, got {last_ev} "
+                      "(truncated artifact?)")
+    elif not trace.errors:
+        trace.err(0, "empty artifact")
+
+
+def trace_files(paths: List[str]) -> List[str]:
+    """Expand dir arguments to their *.jsonl members, keep file args as-is."""
+    out: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            names = sorted(n for n in os.listdir(p) if n.endswith(".jsonl"))
+            out.extend(os.path.join(p, n) for n in names)
+        else:
+            out.append(p)
+    return out
+
+
+# ---------------------------------------------------------------- validate
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    files = trace_files(args.paths)
+    if not files:
+        print("tracectl validate: no .jsonl artifacts found", file=sys.stderr)
+        return 2
+    total_errors = 0
+    for path in files:
+        trace = parse_trace(path)
+        validate_trace(trace)
+        for e in trace.errors:
+            print(e)
+        total_errors += len(trace.errors)
+    n = len(files)
+    if total_errors:
+        print(f"tracectl validate: {total_errors} error(s) in {n} file(s)")
+        return 1
+    if not args.quiet:
+        print(f"tracectl validate: {n} file(s) OK")
+    return 0
+
+
+# --------------------------------------------------------------- summarize
+
+
+@dataclass
+class Summary:
+    path: str
+    proto: str = "?"
+    scenario: str = "?"
+    seed: object = "?"
+    plt_ns: Optional[int] = None
+    timed_out: bool = False
+    handshake_rtts: Optional[int] = None
+    established_t: Optional[int] = None
+    packets_sent: int = 0
+    packets_lost: int = 0
+    spurious: int = 0
+    fast_retransmits: int = 0
+    rtx_segments: int = 0
+    tlp: int = 0
+    rto: int = 0
+    cwnd_samples: int = 0
+    cwnd_first: Optional[int] = None
+    cwnd_max: int = 0
+    cwnd_last: Optional[int] = None
+    streams_opened: int = 0
+    streams_finished: int = 0
+    hol_stalls: int = 0
+    drops: int = 0
+    reorders: int = 0
+
+
+def summarize_trace(trace: Trace) -> Summary:
+    s = Summary(path=trace.path)
+    for _, obj in trace.events:
+        ev = obj.get("ev")
+        side = obj.get("side")
+        if ev == "run:start":
+            s.proto = obj.get("proto", "?")
+            s.scenario = obj.get("scenario", "?")
+            s.seed = obj.get("seed", "?")
+        elif ev == "run:summary":
+            if isinstance(obj.get("plt_ns"), int):
+                s.plt_ns = obj["plt_ns"]
+            s.timed_out = bool(obj.get("timed_out", False))
+        elif ev in ("quic:established", "tcp:established"):
+            if side == "client" and s.handshake_rtts is None:
+                s.handshake_rtts = obj.get("rtts")
+                s.established_t = obj.get("t")
+        elif ev == "quic:packet_sent":
+            s.packets_sent += 1
+        elif ev == "tcp:segment_sent":
+            s.packets_sent += 1
+            if obj.get("rtx"):
+                s.rtx_segments += 1
+        elif ev == "quic:packet_lost":
+            s.packets_lost += 1
+        elif ev == "quic:spurious_loss":
+            s.spurious += 1
+        elif ev == "tcp:fast_retransmit":
+            s.fast_retransmits += 1
+        elif ev in ("quic:tlp", "tcp:tlp"):
+            s.tlp += 1
+        elif ev in ("quic:rto", "tcp:rto"):
+            s.rto += 1
+        elif ev == "cc:cwnd":
+            cwnd = obj.get("cwnd")
+            if isinstance(cwnd, int):
+                s.cwnd_samples += 1
+                if s.cwnd_first is None:
+                    s.cwnd_first = cwnd
+                s.cwnd_max = max(s.cwnd_max, cwnd)
+                s.cwnd_last = cwnd
+        elif ev == "quic:stream_opened":
+            s.streams_opened += 1
+        elif ev == "quic:stream_fin":
+            s.streams_finished += 1
+        elif ev in ("net:drop_queue", "net:drop_random"):
+            s.drops += 1
+        elif ev == "net:reorder":
+            s.reorders += 1
+    # Head-of-line stalls: every recovery episode halts delivery to the app.
+    # For TCP a single loss stalls the whole connection (fast retransmit or
+    # RTO); for QUIC only an RTO stalls every stream at once.
+    if s.proto == "tcp":
+        s.hol_stalls = s.fast_retransmits + s.rto
+    else:
+        s.hol_stalls = s.rto
+    return s
+
+
+def print_summary(s: Summary) -> None:
+    plt = "timed out" if s.timed_out else (
+        f"{s.plt_ns / 1e9:.3f}s" if s.plt_ns is not None else "n/a")
+    hs = ("not established" if s.handshake_rtts is None else
+          f"{s.handshake_rtts} RTT ({(s.established_t or 0) / 1e6:.1f}ms)")
+    print(f"{s.path}")
+    print(f"  proto={s.proto} scenario={s.scenario} seed={s.seed} plt={plt}")
+    print(f"  handshake: {hs}")
+    print(f"  packets: sent={s.packets_sent} lost={s.packets_lost} "
+          f"spurious={s.spurious} rtx_segments={s.rtx_segments} "
+          f"fast_rtx={s.fast_retransmits} tlp={s.tlp} rto={s.rto}")
+    cwnd = ("no samples" if s.cwnd_first is None else
+            f"first={s.cwnd_first} max={s.cwnd_max} last={s.cwnd_last} "
+            f"({s.cwnd_samples} updates)")
+    print(f"  cwnd: {cwnd}")
+    print(f"  streams: opened={s.streams_opened} fin={s.streams_finished} "
+          f"hol_stalls={s.hol_stalls}")
+    print(f"  link: drops={s.drops} reorders={s.reorders}")
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    files = trace_files(args.paths)
+    if not files:
+        print("tracectl summarize: no artifacts found", file=sys.stderr)
+        return 2
+    rc = 0
+    for path in files:
+        trace = parse_trace(path)
+        for e in trace.errors:
+            print(f"warning: {e}", file=sys.stderr)
+            rc = 1
+        print_summary(summarize_trace(trace))
+    return rc
+
+
+# ------------------------------------------------------------------ detect
+
+
+@dataclass
+class Finding:
+    path: str
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: [{self.rule}] {self.detail}"
+
+
+def detect_trace(trace: Trace, args: argparse.Namespace) -> List[Finding]:
+    findings: List[Finding] = []
+    s = summarize_trace(trace)
+
+    # Rule 1: spurious-loss storm — N spurious declarations inside a sliding
+    # window of sim time. Spurious losses mean the loss detector is firing on
+    # reordering, the pathology behind the paper's Fig. 10.
+    window_ns = int(args.storm_window_s * 1e9)
+    spurious_ts = [obj["t"] for _, obj in trace.events
+                   if obj.get("ev") == "quic:spurious_loss"
+                   and isinstance(obj.get("t"), int)]
+    lo = 0
+    worst = 0
+    for hi in range(len(spurious_ts)):
+        while spurious_ts[hi] - spurious_ts[lo] > window_ns:
+            lo += 1
+        worst = max(worst, hi - lo + 1)
+    if worst >= args.storm_count:
+        findings.append(Finding(
+            trace.path, "spurious-loss-storm",
+            f"{worst} spurious losses within {args.storm_window_s:g}s "
+            f"(threshold {args.storm_count}); total spurious={len(spurious_ts)}"))
+
+    # Rule 2: handshake stall — establishment took too long, or never
+    # happened on a run that timed out.
+    stall_ns = int(args.handshake_stall_s * 1e9)
+    if s.established_t is not None and s.established_t > stall_ns:
+        findings.append(Finding(
+            trace.path, "handshake-stall",
+            f"established after {s.established_t / 1e9:.3f}s "
+            f"(threshold {args.handshake_stall_s:g}s)"))
+    elif s.handshake_rtts is None and s.timed_out:
+        findings.append(Finding(
+            trace.path, "handshake-stall",
+            "run timed out without ever establishing"))
+
+    # Rule 3: cwnd collapse — the window fell to a small fraction of its
+    # peak and never recovered (final sample still collapsed).
+    if s.cwnd_max > 0 and s.cwnd_last is not None:
+        floor = max(int(s.cwnd_max * args.collapse_fraction),
+                    args.collapse_min_bytes)
+        if s.cwnd_max >= 4 * args.collapse_min_bytes and s.cwnd_last < floor:
+            findings.append(Finding(
+                trace.path, "cwnd-collapse",
+                f"final cwnd {s.cwnd_last} < {args.collapse_fraction:g} x "
+                f"peak {s.cwnd_max}"))
+
+    # Rule 4: ACK-delay outliers — RTT samples from ACK processing far above
+    # the median suggest delayed/starved ACK scheduling.
+    rtts = [obj["rtt_ns"] for _, obj in trace.events
+            if obj.get("ev") == "quic:ack_processed"
+            and isinstance(obj.get("rtt_ns"), int)]
+    if len(rtts) >= 8:
+        med = sorted(rtts)[len(rtts) // 2]
+        if med > 0:
+            outliers = [r for r in rtts if r > med * args.ack_outlier_factor]
+            if outliers:
+                findings.append(Finding(
+                    trace.path, "ack-delay-outlier",
+                    f"{len(outliers)}/{len(rtts)} RTT samples above "
+                    f"{args.ack_outlier_factor:g}x median "
+                    f"({med / 1e6:.1f}ms); worst {max(outliers) / 1e6:.1f}ms"))
+    return findings
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    files = trace_files(args.paths)
+    if not files:
+        print("tracectl detect: no artifacts found", file=sys.stderr)
+        return 2
+    rc = 0
+    all_findings: List[Finding] = []
+    for path in files:
+        trace = parse_trace(path)
+        for e in trace.errors:
+            print(f"warning: {e}", file=sys.stderr)
+            rc = 2 if rc == 0 else rc
+        all_findings.extend(detect_trace(trace, args))
+    for f in all_findings:
+        print(f)
+    if all_findings:
+        print(f"tracectl detect: {len(all_findings)} finding(s) "
+              f"in {len(files)} file(s)")
+        return 1
+    return rc
+
+
+# -------------------------------------------------------------------- diff
+
+
+def event_counts(trace: Trace) -> Counter:
+    return Counter(obj.get("ev", "?") for _, obj in trace.events)
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    a_files = trace_files([args.a])
+    b_files = trace_files([args.b])
+    a_by_name = {os.path.basename(p): p for p in a_files}
+    b_by_name = {os.path.basename(p): p for p in b_files}
+    if os.path.isfile(args.a) and os.path.isfile(args.b):
+        # Two explicit files: diff them against each other regardless of name.
+        pairs = [(os.path.basename(args.a), args.a, args.b)]
+        only_a: List[str] = []
+        only_b: List[str] = []
+    else:
+        common = sorted(set(a_by_name) & set(b_by_name))
+        pairs = [(n, a_by_name[n], b_by_name[n]) for n in common]
+        only_a = sorted(set(a_by_name) - set(b_by_name))
+        only_b = sorted(set(b_by_name) - set(a_by_name))
+    for name in only_a:
+        print(f"only in {args.a}: {name}")
+    for name in only_b:
+        print(f"only in {args.b}: {name}")
+    differing = 0
+    for name, pa, pb in pairs:
+        ta, tb = parse_trace(pa), parse_trace(pb)
+        for e in ta.errors + tb.errors:
+            print(f"warning: {e}", file=sys.stderr)
+        ca, cb = event_counts(ta), event_counts(tb)
+        sa, sb = summarize_trace(ta), summarize_trace(tb)
+        lines: List[str] = []
+        for ev in sorted(set(ca) | set(cb)):
+            if ca[ev] != cb[ev]:
+                lines.append(f"    {ev:<24} {ca[ev]:>8} -> {cb[ev]:>8}")
+        plt_a = sa.plt_ns if sa.plt_ns is not None else -1
+        plt_b = sb.plt_ns if sb.plt_ns is not None else -1
+        if plt_a != plt_b:
+            lines.append(f"    {'plt_ns':<24} {plt_a:>8} -> {plt_b:>8}")
+        if lines:
+            differing += 1
+            print(f"{name}:")
+            for line in lines:
+                print(line)
+    if differing or only_a or only_b:
+        print(f"tracectl diff: {differing} differing, {len(only_a)} only in A, "
+              f"{len(only_b)} only in B")
+        return 1
+    print(f"tracectl diff: {len(pairs)} pair(s) identical at event level")
+    return 0
+
+
+# -------------------------------------------------------------------- main
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="tracectl", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    v = sub.add_parser("validate", help="strict schema check")
+    v.add_argument("paths", nargs="+", help="trace dirs or .jsonl files")
+    v.add_argument("--quiet", action="store_true",
+                   help="print nothing when everything validates")
+    v.set_defaults(fn=cmd_validate)
+
+    s = sub.add_parser("summarize", help="per-connection timeline summary")
+    s.add_argument("paths", nargs="+")
+    s.set_defaults(fn=cmd_summarize)
+
+    d = sub.add_parser("detect", help="run anomaly rules")
+    d.add_argument("paths", nargs="+")
+    d.add_argument("--storm-count", type=int, default=5,
+                   help="spurious losses within the window to call a storm")
+    d.add_argument("--storm-window-s", type=float, default=1.0)
+    d.add_argument("--handshake-stall-s", type=float, default=1.0)
+    d.add_argument("--collapse-fraction", type=float, default=0.1,
+                   help="final cwnd below this fraction of peak = collapse")
+    d.add_argument("--collapse-min-bytes", type=int, default=15000)
+    d.add_argument("--ack-outlier-factor", type=float, default=10.0)
+    d.set_defaults(fn=cmd_detect)
+
+    f = sub.add_parser("diff", help="compare two trace dirs or files")
+    f.add_argument("a")
+    f.add_argument("b")
+    f.set_defaults(fn=cmd_diff)
+    return p
+
+
+def main(argv: List[str]) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
