@@ -1,6 +1,7 @@
 #include "http/object_service.h"
 
 #include <charconv>
+#include <memory>
 #include <string>
 
 #include "util/logging.h"
@@ -71,7 +72,11 @@ void ObjectService::respond(AppStream& stream, std::size_t size,
     const double hi = static_cast<double>(delay_hi_.count());
     const Duration wait(
         static_cast<std::int64_t>(delay_rng_->uniform(lo, hi)));
-    sim_.schedule(wait, do_respond);
+    sim_.schedule(wait, [do_respond = std::move(do_respond),
+                         token = std::weak_ptr<char>(live_token_)] {
+      if (token.expired()) return;
+      do_respond();
+    });
   } else {
     do_respond();
   }

@@ -44,6 +44,9 @@ class ObjectService {
   Duration delay_hi_ = kNoDuration;
   std::unique_ptr<Rng> delay_rng_;
   std::uint64_t requests_served_ = 0;
+  // Liveness token for delayed responses: a scheduled respond must become
+  // a no-op if the service is destroyed before the delay elapses.
+  std::shared_ptr<char> live_token_ = std::make_shared<char>(0);
 };
 
 // QUIC object server: standalone server binding a UDP port.

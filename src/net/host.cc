@@ -70,6 +70,8 @@ void Host::deliver(Packet&& p) {
   const TimePoint start = std::max(sim_.now(), busy_until);
   const TimePoint done = start + cost;
   busy_until = done;
+  // ll-analysis: allow(deferred-raw-this) Hosts are owned by the Network
+  // topology for the whole Simulator lifetime; no event outlives them.
   sim_.schedule_at(done, [this, pkt = std::move(p)]() mutable {
     dispatch(std::move(pkt));
   });

@@ -70,6 +70,8 @@ void DirectionalLink::schedule_drain() {
         deficit_bytes * 8.0 * 1e9 / static_cast<double>(config_.rate_bps)) + 1);
   }
   drain_scheduled_ = true;
+  // ll-analysis: allow(deferred-raw-this) Links are owned by the Network
+  // topology for the whole Simulator lifetime; no event outlives them.
   sim_.schedule(wait, [this] {
     drain_scheduled_ = false;
     drain();
@@ -112,6 +114,8 @@ void DirectionalLink::emit(Packet&& p) {
   // Deliver at the packet's own adjusted time. Inverted adjusted times =>
   // out-of-order delivery, exactly like netem's per-packet delay queue.
   ++in_transit_;
+  // ll-analysis: allow(deferred-raw-this) Links are owned by the Network
+  // topology for the whole Simulator lifetime; no event outlives them.
   sim_.schedule(delay, [this, pkt = std::move(p)]() mutable {
     LL_DCHECK(in_transit_ > 0);
     --in_transit_;

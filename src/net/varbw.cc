@@ -27,6 +27,9 @@ void VariableBandwidthSchedule::tick() {
   current_ = lo_ + static_cast<std::int64_t>(
                        rng_.uniform() * static_cast<double>(hi_ - lo_));
   for (DirectionalLink* link : links_) link->set_rate_bps(current_);
+  // ll-analysis: allow(deferred-raw-this) stop() cancels pending_, and the
+  // schedule's owner must stop() it before destruction (scenario teardown
+  // does); only one tick is ever in flight.
   pending_ = sim_.schedule(interval_, [this] { tick(); });
 }
 

@@ -81,14 +81,20 @@ class MetricsRegistry {
   // Render-path accessors; see the thread-safety note above.
   const std::map<std::string, std::uint64_t>& counters() const {
     util::MutexLock lock(mu_);
+    // ll-analysis: allow(guarded-field-alias) render-path contract:
+    // callers read only after worker threads are joined (quiesced).
     return counters_;
   }
   const std::map<std::string, std::int64_t>& gauges() const {
     util::MutexLock lock(mu_);
+    // ll-analysis: allow(guarded-field-alias) render-path contract:
+    // callers read only after worker threads are joined (quiesced).
     return gauges_;
   }
   const std::map<std::string, Histogram>& histograms() const {
     util::MutexLock lock(mu_);
+    // ll-analysis: allow(guarded-field-alias) render-path contract:
+    // callers read only after worker threads are joined (quiesced).
     return histograms_;
   }
 

@@ -112,6 +112,8 @@ class JsonLinesSink final : public TraceSink {
 
   const std::string& text() const {
     util::MutexLock lock(mu_);
+    // ll-analysis: allow(guarded-field-alias) quiesced-reader contract
+    // (see class comment): readers run after recording threads stop.
     return buffer_;
   }
   std::size_t line_count() const {
@@ -161,6 +163,8 @@ class RecordingSink final : public TraceSink {
 
   const std::vector<StoredEvent>& events() const {
     util::MutexLock lock(mu_);
+    // ll-analysis: allow(guarded-field-alias) quiesced-reader contract
+    // (see class comment): readers run after recording threads stop.
     return events_;
   }
   void clear() {

@@ -9,6 +9,8 @@ void Timer::set(Duration delay) { set_at(sim_.now() + delay); }
 void Timer::set_at(TimePoint when) {
   cancel();
   deadline_ = when;
+  // ll-analysis: allow(deferred-raw-this) ~Timer() cancels id_, so a
+  // scheduled fire() can never outlive this Timer.
   id_ = sim_.schedule_at(when, [this] { fire(); });
 }
 

@@ -1,6 +1,7 @@
 #include "video/streaming.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 namespace longlook::video {
@@ -38,7 +39,11 @@ void StreamingSession::start(std::function<void(const QoeMetrics&)> on_done) {
   on_done_ = std::move(on_done);
   started_at_ = sim_.now();
   watch_deadline_ = started_at_ + config_.watch_time;
-  sim_.schedule(config_.watch_time, [this] { finish(); });
+  sim_.schedule(config_.watch_time,
+                [this, token = std::weak_ptr<char>(live_token_)] {
+                  if (token.expired()) return;
+                  finish();
+                });
   session_.connect([this] {
     fetch_next_segment();
     playback_tick();
@@ -106,7 +111,11 @@ void StreamingSession::playback_tick() {
     }
   }
   fetch_next_segment();  // throttle may have opened up
-  tick_event_ = sim_.schedule(milliseconds(100), [this] { playback_tick(); });
+  tick_event_ = sim_.schedule(
+      milliseconds(100), [this, token = std::weak_ptr<char>(live_token_)] {
+        if (token.expired()) return;
+        playback_tick();
+      });
 }
 
 void StreamingSession::finish() {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,9 @@ class StreamingSession {
   double played_seconds_ = 0;
   bool finished_ = false;
   EventId tick_event_ = kInvalidEventId;
+  // Liveness token for the watch-time and playback-tick events: a session
+  // destroyed mid-watch must not have stale callbacks touch freed state.
+  std::shared_ptr<char> live_token_ = std::make_shared<char>(0);
 };
 
 }  // namespace longlook::video

@@ -1,0 +1,65 @@
+// libFuzzer target: QUIC packet decoder robustness.
+//
+// Feeds arbitrary bytes to decode_packet(). The decoder's contract: it may
+// only return nullopt on bad input — never crash, never read out of
+// bounds (ASan/UBSan enforce the latter when the sanitizer legs build
+// this target). When a packet does decode, re-encoding it must be
+// idempotent: the second decode must succeed and produce identical wire
+// bytes, and frame_size/packet_header_size must account for every byte.
+//
+// Build modes (tests/fuzz/CMakeLists.txt):
+//  * default        — linked with fuzz_driver.cc: replays the committed
+//    corpus plus a bounded number of deterministic mutations (ctest
+//    `fuzz-quic-decode`).
+//  * LONGLOOK_FUZZ  — linked with -fsanitize=fuzzer for open-ended
+//    coverage-guided runs (requires clang; the option hard-errors
+//    elsewhere).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "quic/frames.h"
+#include "util/bytes.h"
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_quic_decode: property violated: %s\n", what);
+    std::abort();  // abort so both libFuzzer and the driver catch it
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace longlook;
+  using namespace longlook::quic;
+
+  const BytesView input{data, size};
+  const auto decoded = decode_packet(input);
+  if (!decoded) return 0;  // rejection is always a valid outcome
+
+  // Round-trip idempotence: decode → encode → decode is a fixed point.
+  const Bytes wire = encode_packet(*decoded);
+  const auto again = decode_packet(wire);
+  check(again.has_value(), "re-encoded packet failed to decode");
+  const Bytes wire2 = encode_packet(*again);
+  check(wire == wire2, "re-encode is not idempotent");
+
+  // Size bookkeeping: the assembler's accounting must match the real
+  // wire size (header + sum of frame sizes + integrity tag).
+  const std::size_t accounted =
+      packet_header_size(decoded->packet_number) +
+      std::accumulate(decoded->frames.begin(), decoded->frames.end(),
+                      std::size_t{0},
+                      [](std::size_t acc, const Frame& f) {
+                        return acc + frame_size(f);
+                      }) +
+      kAeadTagBytes;
+  check(accounted == wire.size(), "frame_size accounting mismatch");
+  return 0;
+}

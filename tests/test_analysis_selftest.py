@@ -79,11 +79,13 @@ def main_selftest() -> int:
         failures.append(
             "clean fixtures: expected no findings, got:\n  " +
             "\n  ".join(f.render() for f in result.findings))
-    if result.suppressed != 2:
+    if result.suppressed != 6:
         failures.append(
-            f"clean fixtures: expected exactly 2 suppressed findings "
-            f"(the demonstrative allow-note and the obs wall-clock "
-            f"exemption), got {result.suppressed}")
+            f"clean fixtures: expected exactly 6 suppressed findings "
+            f"(the demonstrative allow-note, the obs wall-clock exemption, "
+            f"and the suppress_scope.cc edge cases — the multi-line "
+            f"statement fires on both of its lines under one suppression, "
+            f"plus macro-jump and end-of-file), got {result.suppressed}")
 
     # --- suppression misuse is a hard error ---------------------------------
     for fixture, fragment in [
@@ -101,6 +103,43 @@ def main_selftest() -> int:
         code, _, err = run_main([str(path)])
         if code != 2:
             failures.append(f"{fixture}: expected exit 2 via CLI, got {code}")
+
+    # --- stale allowlist entries are a hard error ---------------------------
+    # An entry whose rule is active this run but matches nothing must fail
+    # the run (exit 2): stale suppressions would silently hide the next
+    # real finding at that site. An entry that does match stays legal.
+    with tempfile.TemporaryDirectory() as td:
+        stale = Path(td) / "stale_allowlist.txt"
+        stale.write_text(
+            "narrowing-time-arith no/such/file.cc\n", encoding="utf-8")
+        try:
+            analyze_paths([str(FIXTURES / "bad")], allowlist=stale)
+            failures.append(
+                "stale allowlist: expected AnalysisError, got none")
+        except AnalysisError as e:
+            if "stale allowlist" not in str(e):
+                failures.append(
+                    f"stale allowlist: error message missing "
+                    f"'stale allowlist': {e}")
+        code, _, _ = run_main(
+            ["--allowlist", str(stale), str(FIXTURES / "bad")])
+        if code != 2:
+            failures.append(
+                f"stale allowlist: expected exit 2 via CLI, got {code}")
+
+        live = Path(td) / "live_allowlist.txt"
+        live.write_text(
+            "narrowing-time-arith fixtures/bad\n", encoding="utf-8")
+        try:
+            result = analyze_paths([str(FIXTURES / "bad")], allowlist=live)
+            expected_live = (total - EXPECTED_BAD["narrowing-time-arith"])
+            if len(result.findings) != expected_live:
+                failures.append(
+                    f"live allowlist: {len(result.findings)} findings after "
+                    f"allowlisting narrowing-time-arith, expected "
+                    f"{expected_live}")
+        except AnalysisError as e:
+            failures.append(f"live allowlist raised unexpectedly: {e}")
 
     # --- JSON report agrees with the text output ----------------------------
     with tempfile.TemporaryDirectory() as td:

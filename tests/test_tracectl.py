@@ -276,6 +276,47 @@ def test_bench_report(td):
     check(code == 0 and "x" in out, f"summary: rc={code}: {out}")
 
 
+def test_bench_hist(td):
+    # One bench result with a per-cell metrics histogram, one trace with a
+    # run:hist record: `hist` must find both, render pinned stats, and the
+    # markdown table must carry the same rows.
+    hist = {"count": 4, "sum": 100, "min": 10, "max": 40, "p50": 20,
+            "p90": 40, "p99": 40, "buckets": [[10, 1], [20, 2], [36, 1]]}
+    result = bench_result("h", 7, 1000)
+    result["deterministic"]["sections"][0]["cells"][0]["metrics"] = {
+        "quic.plt_us": hist}
+    hist_dir = os.path.join(td, "hist_dir")
+    os.makedirs(hist_dir)
+    with open(os.path.join(hist_dir, "BENCH_h.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(result, f)
+    write_trace(os.path.join(hist_dir, "r0.jsonl"), clean_trace_lines())
+
+    code, out, err = run(bench_report, ["hist", hist_dir])
+    check(code == 0, f"hist: expected 0, got {code}: {err}")
+    check("h:rxc:quic.plt_us" in out,
+          f"hist: bench histogram label missing: {out}")
+    check("r0.jsonl:quic.plt_us" in out,
+          f"hist: run:hist trace label missing: {out}")
+    row = next(ln for ln in out.splitlines() if "h:rxc" in ln)
+    fields = row.split()
+    check(fields[1:7] == ["4", "10", "20", "40", "40", "40"],
+          f"hist: wrong stats row: {row}")
+    check(fields[7] == "25", f"hist: wrong mean (sum//count): {row}")
+
+    code, out, _ = run(bench_report, ["hist", hist_dir, "--markdown",
+                                      "--key", "quic.plt_us"])
+    check(code == 0 and out.startswith("| histogram |"),
+          f"hist --markdown: bad header: {out}")
+    check("| h:rxc:quic.plt_us | 4 | 10 | 20 | 40 | 40 | 40 | 25 |" in out,
+          f"hist --markdown: pinned row missing: {out}")
+
+    # An unmatched --key filter is a loud usage error, not an empty table.
+    code, _, err = run(bench_report, ["hist", hist_dir, "--key", "nope"])
+    check(code == 2 and "no histograms" in err,
+          f"hist: unmatched key should exit 2: rc={code} {err}")
+
+
 def main_selftest():
     with tempfile.TemporaryDirectory() as td:
         test_validate_ok(td)
@@ -283,13 +324,15 @@ def main_selftest():
         test_detect(td)
         test_summarize_and_diff(td)
         test_bench_report(td)
+        test_bench_hist(td)
     if failures:
         print("tracectl_selftest: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
     print("tracectl_selftest: OK (validate strict + crash-free on fuzz "
-          "cases, detect golden, diff, bench_report det/check/diff pinned)")
+          "cases, detect golden, diff, bench_report det/check/diff/hist "
+          "pinned)")
     return 0
 
 

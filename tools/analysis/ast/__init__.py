@@ -1,0 +1,27 @@
+"""Flow-sensitive AST analysis layer for the longlook analyzer.
+
+Sits on top of the token-aware engine in tools/analysis/: same finding
+format, same `--json` report shape, same exit codes, and the same
+`// ll-analysis: allow(<rule>) <reason>` suppression syntax. The layer adds
+what the token stream cannot express: statement-ordered dataflow inside
+function bodies (lambda escape, iterator kill/use, lock scopes, value flow
+through calls and returns).
+
+Two frontends share one IR (astmodel.TranslationUnit):
+
+  * `clang`    — libclang via clang.cindex, driven by the repo's exported
+                 compile_commands.json. Full-fidelity symbol tables
+                 (canonical types, cross-file class layouts). Optional:
+                 when libclang is missing the runner degrades loudly, it
+                 never fails.
+  * `internal` — a pure-Python structural parser (parser.py) built on
+                 tools/analysis/lexer.py. Always available; this is what
+                 the self-test pins so fixture counts are reproducible on
+                 machines without libclang.
+
+Entry point: tools/analysis/ast/run_ast_analysis.py (ctest `ast-analysis`,
+self-test `analysis-ast-selftest`).
+"""
+
+from .engine import analyze_paths_ast, main  # noqa: F401
+from .rules import AST_RULES, AST_RULE_NAMES  # noqa: F401

@@ -1,0 +1,154 @@
+"""Optional libclang frontend.
+
+When `clang.cindex` + a loadable libclang are present, this frontend
+augments the internal parser's symbol tables with clang's full-fidelity
+view: canonical field/parameter types, `guarded_by` attributes recovered
+from the expanded `LL_GUARDED_BY` macro, and cross-file class layouts via
+`compile_commands.json` include paths. Statement trees always come from
+the internal parser — clang only upgrades the *type facts* the rules
+consult, so both frontends walk identical CFG-lite structure and fixture
+counts stay frontend-independent.
+
+Everything here is defensive: any clang failure (missing library, parse
+error, ABI mismatch) degrades to the internal TU with a one-line warning.
+The analyzer never hard-fails because libclang is absent — that mirrors
+tools/run_clang_tidy.sh, which exits 0 with a loud skip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .astmodel import ClassInfo, FieldInfo, Param, TranslationUnit
+from . import parser as internal_parser
+
+_probe_result: Optional[Tuple[bool, str]] = None
+
+
+def clang_available() -> Tuple[bool, str]:
+    """(available, detail). Cached: probing libclang loads a shared lib."""
+    global _probe_result
+    if _probe_result is not None:
+        return _probe_result
+    try:
+        import clang.cindex as ci  # noqa: F401
+    except ImportError as e:
+        _probe_result = (False, f"python clang bindings missing ({e})")
+        return _probe_result
+    try:
+        ci.Index.create()
+    except Exception as e:  # libclang .so missing or ABI mismatch
+        _probe_result = (False, f"libclang not loadable ({e})")
+        return _probe_result
+    _probe_result = (True, "libclang loaded")
+    return _probe_result
+
+
+def _compile_args(root: Path, fs_path: Path) -> List[str]:
+    """Best-effort args for `fs_path` from build/compile_commands.json."""
+    db = root / "build" / "compile_commands.json"
+    if not db.is_file():
+        return ["-std=c++17", f"-I{root / 'src'}"]
+    try:
+        entries = json.loads(db.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return ["-std=c++17", f"-I{root / 'src'}"]
+    want = fs_path.resolve().as_posix()
+    for entry in entries:
+        ef = Path(entry.get("directory", "."), entry.get("file", ""))
+        if ef.resolve().as_posix() != want:
+            continue
+        args = entry.get("arguments") or entry.get("command", "").split()
+        keep: List[str] = []
+        it = iter(args[1:])  # drop the compiler itself
+        for a in it:
+            if a in ("-c", "-o"):
+                next(it, None)
+                continue
+            if a.endswith((".cc", ".cpp", ".cxx", ".o")):
+                continue
+            keep.append(a)
+        return keep
+    return ["-std=c++17", f"-I{root / 'src'}"]
+
+
+def _guarded_by_of(cursor) -> Optional[str]:
+    """Mutex name from a guarded_by attribute child, if any."""
+    import clang.cindex as ci
+    for child in cursor.get_children():
+        if child.kind != ci.CursorKind.UNEXPOSED_ATTR:
+            continue
+        toks = [t.spelling for t in child.get_tokens()]
+        if "guarded_by" in toks:
+            ids = [t for t in toks
+                   if t not in ("guarded_by", "(", ")", ",")]
+            if ids:
+                return ids[0]
+    return None
+
+
+def _augment_symbols(tu: TranslationUnit, cursor, rel: str) -> None:
+    """Overlays clang's class/field/function facts onto the internal
+    symbol table. Clang wins on type spellings; internal entries with no
+    clang counterpart are kept."""
+    import clang.cindex as ci
+    for c in cursor.walk_preorder():
+        if c.location.file is None:
+            continue
+        if c.kind in (ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL) \
+                and c.is_definition():
+            cls = tu.symbols.classes.setdefault(
+                c.spelling, ClassInfo(c.spelling, c.location.line))
+            for m in c.get_children():
+                if m.kind != ci.CursorKind.FIELD_DECL:
+                    continue
+                guard = _guarded_by_of(m)
+                prev = cls.fields.get(m.spelling)
+                cls.fields[m.spelling] = FieldInfo(
+                    m.spelling, m.type.spelling, m.location.line,
+                    guard if guard is not None
+                    else (prev.guarded_by if prev else None))
+                if "unordered_" in m.type.spelling:
+                    tu.symbols.unordered_names = frozenset(
+                        set(tu.symbols.unordered_names) | {m.spelling})
+        elif c.kind in (ci.CursorKind.CXX_METHOD,
+                        ci.CursorKind.FUNCTION_DECL):
+            for fn in tu.symbols.functions.get(c.spelling, []):
+                clang_params = list(c.get_arguments())
+                if len(clang_params) != len(fn.params):
+                    continue
+                fn.params[:] = [
+                    Param(p.type.spelling, p.spelling or old.name)
+                    for p, old in zip(clang_params, fn.params)]
+    tu.symbols.source = "clang"
+
+
+def load_tu(fs_path: Path, rel: str, root: Path,
+            warn=None) -> TranslationUnit:
+    """Internal-parse `fs_path`, then overlay clang symbol facts.
+
+    Falls back to the plain internal TU (with a warning via `warn`) on any
+    clang failure; never raises for clang's sake."""
+    tu = internal_parser.load_tu(fs_path, rel)
+    ok, detail = clang_available()
+    if not ok:
+        if warn:
+            warn(f"{rel}: clang frontend unavailable ({detail}); "
+                 "using internal frontend")
+        return tu
+    try:
+        import clang.cindex as ci
+        index = ci.Index.create()
+        unit = index.parse(str(fs_path), args=_compile_args(root, fs_path))
+        fatal = [d for d in unit.diagnostics if d.severity >= 4]
+        if fatal:
+            raise RuntimeError(fatal[0].spelling)
+        _augment_symbols(tu, unit.cursor, rel)
+        tu.frontend = "clang"
+    except Exception as e:
+        if warn:
+            warn(f"{rel}: clang parse failed ({e}); "
+                 "using internal frontend")
+    return tu

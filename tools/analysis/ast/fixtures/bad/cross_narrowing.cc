@@ -1,0 +1,25 @@
+// Fixture: cross-function-narrowing-time-arith must fire on each flow.
+#include <cstdint>
+
+namespace fixture {
+
+void set_deadline(std::uint32_t deadline_us);
+
+std::uint32_t to_slot(std::int64_t now_us) {
+  // 1: a 64-bit time value narrowed through the return.
+  return now_us / 1000;
+}
+
+void arm(std::int64_t now_us) {
+  // 2: a 64-bit time value narrowed into a 32-bit parameter.
+  set_deadline(now_us);
+}
+
+void late_assign(std::int64_t largest_acked) {
+  std::uint32_t slot = 0;
+  // 3: a packet number narrowed through a later assignment.
+  slot = largest_acked % 4096;
+  (void)slot;
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: guarded-field-alias must fire on each alias escape below.
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Registry {
+ public:
+  std::vector<int>& rows();
+  void unlocked_alias();
+  void escaped_scope();
+
+ private:
+  util::Mutex mu_;
+  std::vector<int> rows_ LL_GUARDED_BY(mu_);
+};
+
+std::vector<int>& Registry::rows() {
+  util::MutexLock lock(mu_);
+  // 1: returning a reference to a guarded field outlives the lock.
+  return rows_;
+}
+
+void Registry::unlocked_alias() {
+  // 2: alias taken with no lock held at all.
+  auto& r = rows_;
+  r.push_back(1);
+}
+
+void Registry::escaped_scope() {
+  std::vector<int>* p = nullptr;
+  {
+    util::MutexLock lock(mu_);
+    p = &rows_;
+    p->push_back(1);
+  }
+  // 3: the alias outlived the MutexLock scope that made it safe.
+  p->push_back(2);
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: iterator-invalidation must fire on each stale use below.
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+int use_after_push(std::vector<int>& v) {
+  auto it = v.begin();
+  v.push_back(1);
+  // 1: `it` was invalidated by the push_back above.
+  return *it;
+}
+
+void erase_in_rangefor(std::map<int, int>& m) {
+  for (auto& kv : m) {
+    // 2: mutating the iterated container invalidates the hidden iterators.
+    if (kv.second == 0) m.erase(kv.first);
+  }
+}
+
+void erase_without_rebind(std::vector<int>& v) {
+  auto it = v.begin();
+  while (it != v.end()) {
+    // 3: erase without rebinding, then the loop re-tests the dead iterator.
+    if (*it == 0) v.erase(it);
+    ++it;
+  }
+}
+
+int reference_after_clear(std::vector<int>& v) {
+  int& r = v.back();
+  v.clear();
+  // 4: the reference dangles once the container was cleared.
+  return r;
+}
+
+}  // namespace fixture

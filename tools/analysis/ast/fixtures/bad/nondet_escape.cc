@@ -1,0 +1,35 @@
+// Fixture: nondeterministic-iteration-escape must fire on each emit below.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+void stream_escape(const std::unordered_map<int, int>& flows,
+                   std::ostream& os) {
+  for (const auto& kv : flows) {
+    // 1: unordered iteration order flows into the output stream.
+    os << kv.first << "," << kv.second << "\n";
+  }
+}
+
+std::vector<int> vector_escape(const std::unordered_map<int, int>& flows) {
+  std::vector<int> out;
+  for (const auto& kv : flows) {
+    // 2: append order equals the (nondeterministic) iteration order.
+    out.push_back(kv.second);
+  }
+  return out;
+}
+
+std::string string_escape(const std::unordered_map<int, int>& flows) {
+  std::string report;
+  for (const auto& kv : flows) {
+    // 3: concatenation order equals the iteration order.
+    report += std::to_string(kv.second);
+  }
+  return report;
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: deferred-raw-this must fire on every raw-`this` escape below.
+// Lives under a src/ component because the rule is scoped to src/.
+#include <utility>
+
+namespace fixture {
+
+class Connection {
+ public:
+  void send();
+  void arm();
+  void chain();
+  void lateral();
+
+ private:
+  void on_sent();
+  void tick();
+  Simulator& sim_;
+  int inflight_ = 0;
+};
+
+void Connection::send() {
+  // 1: plain raw `this` capture into a deferred call.
+  sim_.schedule(cost, [this] { on_sent(); });
+}
+
+void Connection::arm() {
+  // 2: default &-capture in a member function implies raw `this`.
+  sim_.schedule_at(when, [&] { tick(); });
+}
+
+void Connection::chain() {
+  // 3: a local lambda that captures raw `this`, escaping via post().
+  auto cb = [this] { tick(); };
+  sim_.post(std::move(cb));
+}
+
+void Connection::lateral() {
+  // 4: capturing a member by reference aliases `this` just the same.
+  sim_.schedule(cost, [&inflight_] { ++inflight_; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,96 @@
+// Fixture: safe counterparts of every bad pattern. Zero findings expected.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Connection {
+ public:
+  void send();
+  void detach();
+
+ private:
+  void on_sent();
+  Simulator& sim_;
+  std::shared_ptr<char> live_token_ = std::make_shared<char>(0);
+};
+
+void Connection::send() {
+  // Weak live-token guard: the PR 1 idiom the rule asks for.
+  sim_.schedule(cost, [this, token = std::weak_ptr<char>(live_token_)] {
+    if (token.expired()) return;
+    on_sent();
+  });
+}
+
+void Connection::detach() {
+  // A shared self keepalive is also fine.
+  auto self = shared_from_this();
+  sim_.post([self] { self->close(); });
+}
+
+int rebind_erase(std::vector<int>& v) {
+  auto it = v.begin();
+  while (it != v.end()) {
+    if (*it == 0) {
+      it = v.erase(it);  // rebinding revalidates the iterator
+    } else {
+      ++it;
+    }
+  }
+  return static_cast<int>(v.size());
+}
+
+void collect_then_mutate(std::map<int, int>& m) {
+  std::vector<int> doomed;
+  for (const auto& kv : m) {
+    if (kv.second == 0) doomed.push_back(kv.first);
+  }
+  for (int k : doomed) m.erase(k);
+}
+
+class Registry {
+ public:
+  std::vector<int> snapshot() const;
+
+ private:
+  util::Mutex mu_;
+  std::vector<int> rows_ LL_GUARDED_BY(mu_);
+};
+
+std::vector<int> Registry::snapshot() const {
+  util::MutexLock lock(mu_);
+  return rows_;  // by-value copy, no alias escapes the lock
+}
+
+void widen_properly(std::int64_t now_us) {
+  std::int64_t deadline_us = now_us + 5000;
+  (void)deadline_us;
+}
+
+void sorted_escape(const std::unordered_map<int, int>& flows,
+                   std::ostream& os) {
+  // Sorted snapshot before emitting: order is deterministic.
+  std::map<int, int> sorted(flows.begin(), flows.end());
+  for (const auto& kv : sorted) {
+    os << kv.first << "," << kv.second << "\n";
+  }
+}
+
+int accumulate_ok(const std::unordered_map<int, int>& flows) {
+  int total = 0;
+  for (const auto& kv : flows) {
+    total += kv.second;  // numeric accumulation is order-insensitive
+  }
+  return total;
+}
+
+}  // namespace fixture

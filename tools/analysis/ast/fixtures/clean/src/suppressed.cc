@@ -1,0 +1,64 @@
+// Fixture: justified suppressions. Zero findings, exactly 5 suppressed.
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Owner {
+ public:
+  void arm();
+  void arm_multiline();
+  void arm_past_macro();
+
+ private:
+  void fire();
+  Simulator& sim_;
+};
+
+void Owner::arm() {
+  // ll-analysis: allow(deferred-raw-this) ~Owner() cancels the event.
+  sim_.schedule(delay, [this] { fire(); });
+}
+
+void Owner::arm_multiline() {
+  // The suppression must cover the whole multi-line statement below.
+  // ll-analysis: allow(deferred-raw-this) ~Owner() cancels the event.
+  sim_.schedule(delay,
+                [this] {
+                  fire();
+                });
+}
+
+class Table {
+ public:
+  std::vector<int>& rows() {
+    util::MutexLock lock(mu_);
+    // ll-analysis: allow(guarded-field-alias) quiesced-reader contract.
+    return rows_;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::vector<int> rows_ LL_GUARDED_BY(mu_);
+};
+
+void Owner::arm_past_macro() {
+  // Preprocessor directives produce no tokens, so the suppression's
+  // scope must jump the #define and still cover the statement below.
+  // ll-analysis: allow(deferred-raw-this) ~Owner() cancels the event.
+#define LL_FIXTURE_DELAY delay
+  sim_.schedule(LL_FIXTURE_DELAY, [this] { fire(); });
+#undef LL_FIXTURE_DELAY
+}
+
+int last_line_case(std::vector<int>& v) {
+  auto it = v.begin();
+  v.push_back(1);
+  // A suppression on the last code line of a file must still parse and
+  // cover its own statement.
+  // ll-analysis: allow(iterator-invalidation) fixture exercises EOF scope.
+  return *it;
+}
+
+}  // namespace fixture

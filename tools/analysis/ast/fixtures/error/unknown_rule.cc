@@ -1,0 +1,6 @@
+// Fixture: an unknown rule name inside allow() is a hard error (exit 2).
+void f() {
+  // ll-analysis: allow(no-such-rule) this must be rejected loudly.
+  int x = 0;
+  (void)x;
+}

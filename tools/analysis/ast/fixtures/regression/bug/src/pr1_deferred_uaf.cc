@@ -1,0 +1,30 @@
+// Regression fixture: reconstruction of the PR 1 deferred-callback
+// use-after-free. QuicConnection::maybe_send_ack() deferred the ACK's
+// emission by its userspace bookkeeping cost, capturing raw `this`; a
+// connection torn down during that window left a dangling `this` on the
+// simulator event queue. Expected: deferred-raw-this fires once.
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace fixture {
+
+class QuicConnection {
+ public:
+  void maybe_send_ack();
+
+ private:
+  void send_quic_packet(QuicPacket&& pkt);
+  Simulator& sim_;
+};
+
+void QuicConnection::maybe_send_ack() {
+  QuicPacket pkt;
+  const Duration cost = ack_emission_cost();
+  // BUG (as shipped): raw `this` rides the event queue past teardown.
+  sim_.schedule(cost, [this, p = std::move(pkt)]() mutable {
+    send_quic_packet(std::move(p));
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Regression fixture: reconstruction of the PR 2 stream-limit bug.
+// Applying a tightened MAX_STREAMS limit erased over-limit streams while
+// range-for iterating the stream map, invalidating the loop's hidden
+// iterators mid-walk. Expected: iterator-invalidation fires once.
+#include <cstdint>
+#include <map>
+#include <memory>
+
+namespace fixture {
+
+class QuicConnection {
+ public:
+  void apply_stream_limit(std::uint64_t max_streams);
+
+ private:
+  std::map<std::uint64_t, std::unique_ptr<Stream>> streams_;
+};
+
+void QuicConnection::apply_stream_limit(std::uint64_t max_streams) {
+  // BUG (as shipped): erase mutates streams_ under its own range-for.
+  for (const auto& [id, s] : streams_) {
+    if (id >= max_streams) streams_.erase(id);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Regression fixture: the PR 1 deferred-callback use-after-free after the
+// historical fix — the lambda carries a weak live-token and bails out when
+// the connection is gone. Expected: zero findings.
+#include <memory>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace fixture {
+
+class QuicConnection {
+ public:
+  void maybe_send_ack();
+
+ private:
+  void send_quic_packet(QuicPacket&& pkt);
+  Simulator& sim_;
+  std::shared_ptr<char> live_token_ = std::make_shared<char>(0);
+};
+
+void QuicConnection::maybe_send_ack() {
+  QuicPacket pkt;
+  const Duration cost = ack_emission_cost();
+  // FIXED: weak live-token guard; teardown expires the token.
+  sim_.schedule(cost, [this, p = std::move(pkt),
+                       token = std::weak_ptr<char>(live_token_)]() mutable {
+    if (token.expired()) return;
+    send_quic_packet(std::move(p));
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Regression fixture: the PR 2 stream-limit bug after the historical fix —
+// collect the doomed stream ids first, then erase outside the iteration.
+// Expected: zero findings.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+class QuicConnection {
+ public:
+  void apply_stream_limit(std::uint64_t max_streams);
+
+ private:
+  std::map<std::uint64_t, std::unique_ptr<Stream>> streams_;
+};
+
+void QuicConnection::apply_stream_limit(std::uint64_t max_streams) {
+  // FIXED: collect-then-mutate keeps the range-for's iterators valid.
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, s] : streams_) {
+    if (id >= max_streams) doomed.push_back(id);
+  }
+  for (std::uint64_t id : doomed) streams_.erase(id);
+}
+
+}  // namespace fixture

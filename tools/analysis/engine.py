@@ -43,7 +43,8 @@ _SKIP_COMPONENT = re.compile(r"^(build.*|\.git|_deps|\.cache)$")
 # Fixture trees are intentionally full of findings; they are skipped by
 # directory walks and only analyzed when a CLI argument points inside them
 # (which is exactly what the self-tests do).
-_FIXTURE_FRAGMENTS = ("tools/lint_fixtures", "tools/analysis/fixtures")
+_FIXTURE_FRAGMENTS = ("tools/lint_fixtures", "tools/analysis/fixtures",
+                      "tools/analysis/ast/fixtures")
 
 _SUPPRESS_RE = re.compile(
     r"ll-analysis:\s*allow\(\s*([^)]*?)\s*\)\s*(.*)", re.DOTALL
@@ -52,6 +53,20 @@ _SUPPRESS_RE = re.compile(
 
 class AnalysisError(Exception):
     """Configuration error (bad suppression, bad path): exit code 2."""
+
+
+def _known_rule_names() -> set:
+    """Token-layer plus AST-layer rule names. Suppressions and allowlists
+    may name a rule from either layer (the AST engine reuses this file's
+    machinery), so validation always runs against the union. Imported
+    lazily: analysis.ast imports back into this module."""
+    names = set(RULES_BY_NAME)
+    try:
+        from .ast.rules import AST_RULES_BY_NAME
+        names |= set(AST_RULES_BY_NAME)
+    except ImportError:
+        pass
+    return names
 
 
 class Finding(NamedTuple):
@@ -143,11 +158,11 @@ def analyze_file(
     text = fs_path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
     tokens, comments = tokenize(text)
-    # Suppressions must name *any* known rule, not just the active subset,
-    # so a legacy-only run (the lint shim) doesn't choke on suppressions
-    # for the newer rules.
+    # Suppressions must name *any* known rule (either layer), not just the
+    # active subset, so a legacy-only run (the lint shim) doesn't choke on
+    # suppressions for newer or AST-layer rules.
     suppressions = _parse_suppressions(
-        comments, tokens, rel, set(RULES_BY_NAME))
+        comments, tokens, rel, _known_rule_names())
     findings: List[Finding] = []
     suppressed = 0
     for rule in rules:
@@ -213,22 +228,49 @@ def _load_allowlist(path: Path) -> List[Tuple[str, str, Optional[str]]]:
                 f"{path}: malformed allowlist line: {raw!r}")
         rule, frag = parts[0], parts[1]
         line_frag = parts[2] if len(parts) > 2 else None
-        if rule not in RULES_BY_NAME:
+        if rule not in _known_rule_names():
             raise AnalysisError(
                 f"{path}: unknown rule '{rule}' in allowlist")
         entries.append((rule, frag, line_frag))
     return entries
 
 
-def _allowlisted(
+def _allowlist_match(
     f: Finding, entries: Sequence[Tuple[str, str, Optional[str]]],
-) -> bool:
-    for rule, frag, line_frag in entries:
+) -> Optional[int]:
+    """Index of the first matching allowlist entry, or None."""
+    for k, (rule, frag, line_frag) in enumerate(entries):
         if f.rule != rule or frag not in f.path:
             continue
         if line_frag is None or line_frag in f.snippet:
-            return True
-    return False
+            return k
+    return None
+
+
+def _allowlisted(
+    f: Finding, entries: Sequence[Tuple[str, str, Optional[str]]],
+) -> bool:
+    return _allowlist_match(f, entries) is not None
+
+
+def check_stale_allowlist(
+    entries: Sequence[Tuple[str, str, Optional[str]]],
+    used: Set[int], active_rule_names: Set[str],
+) -> None:
+    """Hard-errors on entries whose rule was active this run yet matched
+    nothing — stale suppressions must not rot silently. Entries for rules
+    outside the active set (e.g. semantic-rule entries during a
+    --legacy-only lint run) are left alone."""
+    stale = [entries[k] for k in range(len(entries))
+             if k not in used and entries[k][0] in active_rule_names]
+    if stale:
+        rendered = ", ".join(
+            "'" + " ".join(x for x in (r, frag, lf) if x) + "'"
+            for r, frag, lf in stale)
+        raise AnalysisError(
+            f"stale allowlist entries matched no finding: {rendered} — "
+            "delete them (a stale suppression hides the next real "
+            "finding at that site)")
 
 
 def analyze_paths(
@@ -241,6 +283,7 @@ def analyze_paths(
     rules = list(rules) if rules is not None else list(ALL_RULES)
     entries = _load_allowlist(allowlist) if allowlist else []
     findings: List[Finding] = []
+    used_entries: Set[int] = set()
     suppressed = 0
     scanned = 0
     for arg in paths:
@@ -257,10 +300,13 @@ def analyze_paths(
             scanned += 1
             suppressed += file_suppressed
             for finding in file_findings:
-                if _allowlisted(finding, entries):
+                k = _allowlist_match(finding, entries)
+                if k is not None:
+                    used_entries.add(k)
                     suppressed += 1
                 else:
                     findings.append(finding)
+    check_stale_allowlist(entries, used_entries, {r.name for r in rules})
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return AnalysisResult(findings, suppressed, scanned)
 

@@ -1,0 +1,28 @@
+// Fixture: suppression-scope edge cases. Zero findings, exactly 4
+// suppressed here (pinned by tests/test_analysis_selftest.py):
+//  1. a multi-line statement is covered end to end — it fires on both
+//     its declaration and continuation lines under one suppression;
+//  2. the scope jumps preprocessor directives (which produce no tokens),
+//     so a suppression above a macro covers the next real statement;
+//  3. a suppression on the last code line of the file still parses.
+#include <cstdint>
+
+int multiline(std::int64_t smoothed_rtt_us) {
+  // ll-analysis: allow(narrowing-time-arith) fixture: multi-line statement scope
+  int rtt =
+      static_cast<int>(
+          smoothed_rtt_us);
+  return rtt;
+}
+
+int macro_jump(std::int64_t elapsed_us) {
+  // ll-analysis: allow(narrowing-time-arith) fixture: scope jumps the token-less directive
+#define LL_FIXTURE_NOOP(x) (x)
+  return (int)LL_FIXTURE_NOOP(elapsed_us);
+#undef LL_FIXTURE_NOOP
+}
+
+int last_line(std::int64_t delay_us) {
+  // ll-analysis: allow(narrowing-time-arith) fixture: suppression near EOF
+  return static_cast<int>(delay_us);
+}

@@ -18,6 +18,12 @@ Subcommands:
   check <dir> --baselines <dir>     CI gate: deterministic sections must match
                                     the committed baselines exactly; profile is
                                     threshold-only and off by default
+  hist <path...> [--key] [--markdown]
+                                    render metric distributions: the per-cell
+                                    `metrics` histograms inside BENCH_*.json
+                                    and `run:hist` records from trace *.jsonl
+                                    artifacts, with an ASCII density strip per
+                                    histogram (--markdown for EXPERIMENTS.md)
 
 Exit codes: 0 ok, 1 mismatch/regression, 2 usage or I/O error.
 """
@@ -228,6 +234,162 @@ def cmd_check(args: argparse.Namespace) -> int:
                      label_a="baselines", label_b=args.dir)
 
 
+# -------------------------------------------------------------------- hist
+
+# Mirrors obs::Histogram's log-linear bucketing (src/obs/histogram.h):
+# exact unit buckets below 32, then 16 linear sub-buckets per power of two.
+_EXACT_LIMIT = 32
+_SUB_BUCKETS = 16
+
+_BAR_LEVELS = " .:-=+*#"
+
+
+def bucket_lower_bound(index: int) -> int:
+    if index < 0:
+        return 0
+    if index < _EXACT_LIMIT:
+        return index
+    oct_, sub = divmod(index - _EXACT_LIMIT, _SUB_BUCKETS)
+    return (_SUB_BUCKETS + sub) << (oct_ + 1)
+
+
+def _is_hist_dict(obj) -> bool:
+    if not isinstance(obj, dict) or not isinstance(obj.get("count"), int):
+        return False
+    if obj["count"] == 0:
+        return True
+    return all(isinstance(obj.get(k), int)
+               for k in ("sum", "min", "max", "p50", "p90", "p99"))
+
+
+def _hist_buckets(obj) -> List[Tuple[int, int]]:
+    """[(index, count)] from either a list (bench JSON) or the string
+    encoding used by run:hist trace records."""
+    raw = obj.get("buckets", [])
+    if isinstance(raw, str):
+        raw = json.loads(raw)
+    out = []
+    for pair in raw:
+        if isinstance(pair, list) and len(pair) == 2 and \
+                all(isinstance(x, int) for x in pair):
+            out.append((pair[0], pair[1]))
+    return out
+
+
+def _cell_label(cell: dict) -> str:
+    parts = [str(cell[k]) for k in ("row", "col") if k in cell]
+    return "x".join(parts)
+
+
+def collect_hists(paths: List[str]) -> List[Tuple[str, dict]]:
+    """(label, histogram-dict) pairs from BENCH_*.json results (the
+    per-cell `metrics` histograms) and trace *.jsonl artifacts (`run:hist`
+    records), in input order."""
+    files: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(result_files(p))
+            files.extend(sorted(
+                os.path.join(p, n) for n in os.listdir(p)
+                if n.endswith(".jsonl")))
+        else:
+            files.append(p)
+    entries: List[Tuple[str, dict]] = []
+    for path in files:
+        base = os.path.basename(path)
+        if base.endswith(".jsonl"):
+            with open(path, "r", encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(obj, dict) and obj.get("ev") == "run:hist":
+                        entries.append((f"{base}:{obj.get('key', '?')}",
+                                        obj))
+        else:
+            data = load_result(path)
+            for sec in data["deterministic"].get("sections", []):
+                for cell in sec.get("cells", []):
+                    metrics = cell.get("metrics")
+                    if not isinstance(metrics, dict):
+                        continue
+                    for key in sorted(metrics):
+                        if _is_hist_dict(metrics[key]):
+                            cl = _cell_label(cell)
+                            label = data["name"] + \
+                                (f":{cl}" if cl else "") + f":{key}"
+                            entries.append((label, metrics[key]))
+    return entries
+
+
+def render_bar(buckets: List[Tuple[int, int]], width: int) -> str:
+    """ASCII density strip over the occupied bucket-index range. Pure
+    function of the bucket data, so output is deterministic."""
+    if not buckets:
+        return ""
+    lo = min(i for i, _ in buckets)
+    hi = max(i for i, _ in buckets)
+    span = max(1, hi - lo + 1)
+    slots = [0] * width
+    for idx, n in buckets:
+        slots[min(width - 1, (idx - lo) * width // span)] += n
+    peak = max(slots)
+    out = []
+    for s in slots:
+        if s == 0:
+            out.append(_BAR_LEVELS[0])
+        else:
+            lvl = 1 + (s * (len(_BAR_LEVELS) - 2)) // peak
+            out.append(_BAR_LEVELS[min(lvl, len(_BAR_LEVELS) - 1)])
+    return "".join(out)
+
+
+def cmd_hist(args: argparse.Namespace) -> int:
+    try:
+        entries = collect_hists(args.paths)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"bench_report hist: {e}", file=sys.stderr)
+        return 2
+    if args.key:
+        entries = [(lbl, h) for lbl, h in entries if args.key in lbl]
+    if not entries:
+        print("bench_report hist: no histograms found"
+              + (f" matching '{args.key}'" if args.key else ""),
+              file=sys.stderr)
+        return 2
+    rows = []
+    for label, h in entries:
+        count = h["count"]
+        mean = str(h["sum"] // count) if count else "-"
+        stat = (lambda k: str(h[k]) if count else "-")
+        rows.append((label, str(count), stat("min"), stat("p50"),
+                     stat("p90"), stat("p99"), stat("max"), mean,
+                     render_bar(_hist_buckets(h), args.width)))
+    headers = ("histogram", "count", "min", "p50", "p90", "p99", "max",
+               "mean", "distribution")
+    if args.markdown:
+        print("| " + " | ".join(headers) + " |")
+        print("|" + "|".join("---" for _ in headers) + "|")
+        for r in rows:
+            cells = list(r)
+            cells[-1] = f"`{cells[-1]}`" if cells[-1] else ""
+            print("| " + " | ".join(cells) + " |")
+    else:
+        widths = [max(len(h), *(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+        print(line)
+        print("-" * len(line))
+        for r in rows:
+            print("  ".join(r[i].ljust(widths[i])
+                            for i in range(len(headers))))
+    return 0
+
+
 # -------------------------------------------------------------------- main
 
 
@@ -261,6 +423,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also gate profile rates at this percent "
                         "(0 = deterministic-only, the default)")
     c.set_defaults(fn=cmd_check)
+
+    h = sub.add_parser(
+        "hist",
+        help="render metric distributions (BENCH_*.json per-cell "
+             "histograms and run:hist trace records)")
+    h.add_argument("paths", nargs="+",
+                   help="BENCH_*.json files/dirs and/or trace *.jsonl")
+    h.add_argument("--key", default="",
+                   help="only histograms whose label contains this "
+                        "substring")
+    h.add_argument("--markdown", action="store_true",
+                   help="emit a markdown table (for EXPERIMENTS.md)")
+    h.add_argument("--width", type=int, default=24,
+                   help="distribution strip width in characters")
+    h.set_defaults(fn=cmd_hist)
     return p
 
 
