@@ -2,13 +2,27 @@
 // codecs, the event loop, Cubic window math, and a full end-to-end page
 // load. These guard the simulator's own performance — a slow testbed would
 // make the paper's 18-scenario sweeps impractical.
+//
+// With `--json-out <path>` (stripped from argv before google-benchmark sees
+// it) the bench additionally runs a seeded, fully deterministic sim-core
+// churn workload and writes BENCH_micro.json: the deterministic section
+// carries pure logic counts (events dispatched, timer ops, pool high-water)
+// that must be byte-identical on every machine, and the profile section
+// carries the same counters for the perf-floor CI gate.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "cc/cubic.h"
 #include "harness/compare.h"
 #include "quic/frames.h"
 #include "sim/simulator.h"
 #include "tcp/segment.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -99,6 +113,90 @@ void BM_EndToEndPageLoad1MB(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPageLoad1MB)->Unit(benchmark::kMillisecond);
 
+// Seeded schedule/cancel/run mixture spanning every timer-wheel level
+// (same-tick ties through multi-day delays). All recorded values are pure
+// event-logic counts — independent of compiler, optimisation level, and
+// LL_JOBS — so they land in the deterministic JSON section and double as
+// exact perf-floor values. Compiler-sensitive telemetry (callback heap
+// fallbacks, which depend on lambda capture layout) stays profile-only.
+void run_deterministic_churn() {
+  using namespace longlook;
+  Simulator sim;
+  Rng rng(0x5EED);
+  std::vector<EventId> cancelable;
+  std::uint64_t fired = 0;
+  static constexpr std::uint64_t kDelaysNs[] = {
+      0, 1, 3, 250, 70'000, 20'000'000, 6'000'000'000'000,
+      (std::uint64_t{1} << 41), (std::uint64_t{1} << 49)};
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const auto d = nanoseconds(static_cast<std::int64_t>(
+          kDelaysNs[rng.uniform_int(9)] + rng.uniform_int(97)));
+      cancelable.push_back(sim.schedule(d, [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 12; ++i) {
+      const std::size_t pick = rng.uniform_int(cancelable.size());
+      sim.cancel(cancelable[pick]);  // stale ids are deliberate no-ops
+    }
+    sim.run_until(sim.now() + microseconds(50));
+  }
+  sim.run();
+
+  bench::BenchContext& ctx = bench::context();
+  ctx.record_scalar("sim_core_churn", "events_dispatched",
+                    static_cast<std::int64_t>(sim.dispatched_events()));
+  ctx.record_scalar("sim_core_churn", "timer_ops",
+                    static_cast<std::int64_t>(sim.timer_ops()));
+  ctx.record_scalar("sim_core_churn", "callbacks_fired",
+                    static_cast<std::int64_t>(fired));
+  ctx.record_scalar("sim_core_churn", "event_pool_slots",
+                    static_cast<std::int64_t>(sim.event_pool_slots()));
+  ctx.record_scalar("sim_core_churn", "pending_at_end",
+                    static_cast<std::int64_t>(sim.pending_events()));
+  // ll-analysis: allow(narrowing-time-arith) virtual clock is non-negative
+  ctx.record_scalar("sim_core_churn", "final_now_us",
+                    sim.now().time_since_epoch().count() / 1000);
+
+  if (obs::ProfilerShard* prof = obs::Profiler::local(ctx.profiler())) {
+    prof->add("runs", 1);
+    prof->add("sim_events", sim.dispatched_events());
+    prof->add("timer_ops", sim.timer_ops());
+    prof->add("sim_event_pool_slots", sim.event_pool_slots());
+    prof->add("sim_callback_heap", sim.callback_heap_allocs());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // benchmark::Initialize aborts on flags it does not recognise, so the
+  // bench_common contract flag (--json-out, plus its LL_BENCH_JSON
+  // fallback) is peeled off argv first.
+  longlook::bench::BenchOptions opts;
+  if (const char* env = std::getenv("LL_BENCH_JSON")) opts.json_out = env;
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      opts.json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      opts.json_out = arg.substr(11);
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  longlook::bench::context().init(argc > 0 ? argv[0] : "bench_micro", opts);
+
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             filtered.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (longlook::bench::context().json_enabled()) run_deterministic_churn();
+  return longlook::bench::finish();
+}

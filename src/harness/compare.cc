@@ -63,6 +63,12 @@ void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb) {
   const LinkStats& down = tb.downlink().stats();
   prof->add("packets_forwarded", up.delivered + down.delivered);
   prof->add("bytes_moved", up.bytes_delivered + down.bytes_delivered);
+  // Allocation telemetry for the pooled sim core. Both counts depend only
+  // on the simulated workload (per-Simulator pool high-water mark and
+  // oversized-callback count), so they are deterministic and safe to gate
+  // with hard floors in CI (tools/bench_report.py perf-floor).
+  prof->add("sim_event_pool_slots", tb.sim().event_pool_slots());
+  prof->add("sim_callback_heap", tb.sim().callback_heap_allocs());
 }
 
 }  // namespace

@@ -93,12 +93,4 @@ Testbed::Testbed(const Scenario& scenario) : scenario_(scenario), net_(sim_) {
   server_->set_default_route(&mid_server.b_to_a());     // everything via mid
 }
 
-bool Testbed::run_until(const std::function<bool()>& done, Duration timeout) {
-  const TimePoint deadline = sim_.now() + timeout;
-  while (!done() && sim_.now() < deadline) {
-    if (!sim_.step()) break;
-  }
-  return done();
-}
-
 }  // namespace longlook::harness

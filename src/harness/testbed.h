@@ -65,8 +65,17 @@ class Testbed {
   const Scenario& scenario() const { return scenario_; }
 
   // Runs the simulation until `done` returns true or sim-time timeout.
-  // Returns done().
-  bool run_until(const std::function<bool()>& done, Duration timeout);
+  // Returns done(). Templated on the predicate: it runs once per dispatched
+  // event (~1M times per page-load sweep), so the call must inline rather
+  // than bounce through a std::function.
+  template <typename Pred>
+  bool run_until(const Pred& done, Duration timeout) {
+    const TimePoint deadline = sim_.now() + timeout;
+    while (!done() && sim_.now() < deadline) {
+      if (!sim_.step()) break;
+    }
+    return done();
+  }
 
  private:
   Scenario scenario_;

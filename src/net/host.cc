@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/pool.h"
 
 namespace longlook {
 
@@ -48,6 +49,7 @@ bool Host::send(Packet&& p) {
   if (out == nullptr) {
     ++undeliverable_;
     LL_WARN(name_ << ": no route to " << p.dst);
+    util::recycle_bytes(std::move(p.data));
     return false;
   }
   out->send(std::move(p));
@@ -79,11 +81,15 @@ void Host::deliver(Packet&& p) {
 
 void Host::dispatch(Packet&& p) {
   auto it = sockets_.find({p.proto, p.dst_port});
-  if (it == sockets_.end()) {
+  if (it != sockets_.end()) {
+    it->second->on_packet(std::move(p));
+  } else {
     ++undeliverable_;
-    return;
   }
-  it->second->on_packet(std::move(p));
+  // End of the payload's life on the fast path: a sink that kept the data
+  // moved it out (leaving an unallocated vector, so this is a no-op);
+  // otherwise the heap block goes back to the pool for the next encode.
+  util::recycle_bytes(std::move(p.data));
 }
 
 Host& Network::add_host(const std::string& name) {

@@ -33,6 +33,7 @@ void DirectionalLink::send(Packet&& p) {
   if (queued_bytes_ + size > config_.queue_limit_bytes) {
     ++stats_.dropped_queue;
     if (tap_) tap_(LinkEvent::kDroppedQueue, p, sim_.now());
+    util::recycle_bytes(std::move(p.data));
     return;
   }
   queued_bytes_ += size;
@@ -102,6 +103,7 @@ void DirectionalLink::emit(Packet&& p) {
   if (config_.loss_rate > 0 && rng_.bernoulli(config_.loss_rate)) {
     ++stats_.dropped_random;
     if (tap_) tap_(LinkEvent::kDroppedRandom, p, sim_.now());
+    util::recycle_bytes(std::move(p.data));
     return;
   }
   Duration delay = config_.base_delay;

@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "util/pool.h"
 #include "util/rng.h"
 
 namespace longlook {
@@ -101,7 +101,9 @@ class DirectionalLink {
   DeliverFn deliver_;
   Rng rng_;
 
-  std::deque<Packet> queue_;
+  // Router buffer: contiguous ring instead of a node-based deque, so the
+  // steady-state TBF enqueue/drain cycle allocates nothing.
+  util::RingBuffer<Packet> queue_;
   std::int64_t queued_bytes_ = 0;
   double tokens_ = 0;  // bytes of credit
   TimePoint last_refill_{};

@@ -128,7 +128,7 @@ QuicStream& QuicConnection::get_or_create_stream(StreamId id) {
                                              config_.stream_window);
   QuicStream& ref = *stream;
   streams_.emplace(id, std::move(stream));
-  send_order_.push_back(id);
+  send_order_.push_back(&ref);
   if (trace() != nullptr) {
     trace()->record(obs::TraceEvent("quic:stream_opened", sim_.now())
                         .s("side", side())
@@ -447,9 +447,8 @@ bool QuicConnection::build_and_send_packet(bool ack_only_allowed) {
   // 0-RTT resumption, after the REJ round trip otherwise.
   const std::uint64_t conn_allowance = connection_send_allowance();
   bool have_data = false;
-  if (established_) for (StreamId id : send_order_) {
-    QuicStream* s = stream(id);
-    if (s == nullptr || !s->has_pending_data()) continue;
+  if (established_) for (QuicStream* s : send_order_) {
+    if (!s->has_pending_data()) continue;
     if (s->blocked_by_stream_fc()) continue;
     // New data also needs connection-level credit.
     if (conn_allowance == 0 && s->bytes_sent() >= s->peer_max_offset()) {
@@ -538,8 +537,8 @@ bool QuicConnection::build_and_send_packet(bool ack_only_allowed) {
     const std::size_t n = send_order_.size();
     for (std::size_t i = 0; i < n && budget > 24; ++i) {
       rr_cursor_ = (rr_cursor_ + 1) % n;
-      QuicStream* s = stream(send_order_[rr_cursor_]);
-      if (s == nullptr || !s->has_pending_data()) continue;
+      QuicStream* s = send_order_[rr_cursor_];
+      if (!s->has_pending_data()) continue;
       const std::size_t overhead =
           stream_frame_overhead(s->id(), s->bytes_sent(), budget);
       if (overhead + 1 > budget) continue;
@@ -652,9 +651,8 @@ void QuicConnection::maybe_note_app_limited() {
     return;
   }
   const std::uint64_t conn_allowance = connection_send_allowance();
-  for (StreamId id : send_order_) {
-    QuicStream* s = stream(id);
-    if (s == nullptr || !s->has_pending_data()) continue;
+  for (QuicStream* s : send_order_) {
+    if (!s->has_pending_data()) continue;
     const bool fc_blocked =
         !s->has_retransmission_data() &&
         (s->blocked_by_stream_fc() || conn_allowance == 0);

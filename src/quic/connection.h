@@ -197,7 +197,10 @@ class QuicConnection {
   // Streams.
   std::map<StreamId, std::unique_ptr<QuicStream>> streams_;
   StreamId next_stream_id_ = kFirstClientStreamId;
-  std::vector<StreamId> send_order_;  // round-robin multiplexing cursor
+  // Round-robin multiplexing order. Raw pointers are stable: streams_ owns
+  // each QuicStream behind a unique_ptr and never erases entries, so caching
+  // the pointer here avoids a map lookup per stream per send opportunity.
+  std::vector<QuicStream*> send_order_;
   std::size_t rr_cursor_ = 0;
 
   // Connection-level flow control.

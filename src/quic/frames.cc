@@ -1,5 +1,9 @@
 #include "quic/frames.h"
 
+#include <cstring>
+
+#include "util/pool.h"
+
 namespace longlook::quic {
 namespace {
 
@@ -26,11 +30,42 @@ std::uint64_t ack_delay_wire(Duration d) {
   return static_cast<std::uint64_t>(d.count());
 }
 
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv_prime_pow(int k) {
+  std::uint64_t r = 1;
+  for (int i = 0; i < k; ++i) r *= kFnvPrime;
+  return r;
+}
+
 std::uint64_t fnv1a(BytesView data) {
+  // FNV-1a, with an exact fast path for zero runs: a zero byte contributes
+  // h = (h ^ 0) * p = h * p, so an all-zero 8-byte word collapses to a
+  // single multiply by p^8 (mod 2^64). Synthetic object bodies are
+  // zero-filled, so the integrity tag over a full-size packet costs a
+  // handful of multiplies instead of ~1350 serial xor-multiplies. Nonzero
+  // words fall back to the canonical byte loop, so the tag value is
+  // bit-identical to the naive implementation for every input.
+  constexpr std::uint64_t kPrime8 = fnv_prime_pow(8);
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::uint8_t b : data) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
+  const std::uint8_t* p = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, 8);
+    if (w == 0) {
+      h *= kPrime8;
+      continue;
+    }
+    for (std::size_t k = i; k < i + 8; ++k) {
+      h ^= p[k];
+      h *= kFnvPrime;
+    }
+  }
+  for (; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
   }
   return h;
 }
@@ -167,7 +202,9 @@ std::optional<Frame> decode_frame(ByteReader& r) {
 }  // namespace
 
 Bytes encode_packet(const QuicPacket& p) {
-  ByteWriter w(kMaxPacketPayload);
+  // Recycled payload block: freed by the receiving host once the sink is
+  // done with the datagram (or by the link on a drop).
+  ByteWriter w(util::BytesPool::local().acquire(kMaxPacketPayload));
   w.u64(p.connection_id);
   w.varint(p.packet_number);
   for (const Frame& f : p.frames) encode_frame(w, f);

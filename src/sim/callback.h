@@ -1,0 +1,96 @@
+// Type-erased event callback with inline storage, built for pooled nodes.
+//
+// std::function was the simulator's hottest allocation site: every closure
+// over ~16 bytes went to the heap, once per scheduled event. Event nodes now
+// live in an address-stable ObjectPool and are constructed, invoked and
+// destroyed in place — they never move — so the callable needs no move or
+// copy support. That lets the inline buffer be sized generously for the hot
+// closures (host delivery and link emission capture [this + Packet + token],
+// ~80 bytes) without paying std::function's small-buffer compromise.
+// Oversized captures still work via a heap fallback, counted by the owner so
+// the perf-floor gate can pin how rarely it happens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace longlook {
+
+class EventCallback {
+ public:
+  // Fits the steady-state forwarding closures ([this, Packet, weak token]).
+  // The delayed-ACK path captures a whole QuicPacket and may spill; that is
+  // rare and surfaces in Simulator::callback_heap_allocs().
+  static constexpr std::size_t kInlineBytes = 104;
+
+  EventCallback() = default;
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  // Constructs the callable in place. `heap_allocs` is bumped when the
+  // callable does not fit the inline buffer.
+  template <typename F>
+  void emplace(F&& fn, std::uint64_t* heap_allocs) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>,
+                  "event callbacks take no arguments");
+    LL_DCHECK(ops_ == nullptr);
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      new (storage_) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      auto* obj = new Fn(std::forward<F>(fn));
+      ++*heap_allocs;
+      new (storage_) void*(obj);
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  bool engaged() const { return ops_ != nullptr; }
+
+  void invoke() {
+    LL_DCHECK(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](void* storage) {
+        std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+      }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) {
+        (**std::launder(reinterpret_cast<Fn**>(storage)))();
+      },
+      [](void* storage) {
+        delete *std::launder(reinterpret_cast<Fn**>(storage));
+      }};
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace longlook

@@ -1,74 +1,162 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
-#include "util/check.h"
+#include <algorithm>
 
 namespace longlook {
 
-EventId Simulator::push(TimePoint when, std::function<void()> fn) {
+Simulator::Simulator() {
+  for (unsigned level = 0; level < kWheelLevels; ++level) {
+    for (unsigned s = 0; s < kWheelSlots; ++s) heads_[level][s] = kNil;
+    for (unsigned w = 0; w < kWheelSlots / 64; ++w) bitmap_[level][w] = 0;
+  }
+}
+
+EventId Simulator::create_event(TimePoint when, Event** out) {
   // schedule()/schedule_at() clamp to now_; anything earlier reaching the
-  // heap would fire in the past and break the non-decreasing clock.
+  // wheel would fire in the past and break the non-decreasing clock.
   LL_DCHECK(when >= now_) << "event scheduled " << (now_ - when).count()
                           << "ns into the past";
-  auto ev = std::make_shared<Event>();
-  ev->when = when;
+  EventPool::Ref ref;
+  Event* ev = pool_.acquire(ref);
+  ev->when_ns = to_ticks(when);
   ev->seq = next_seq_++;
-  ev->id = next_id_++;
-  ev->fn = std::move(fn);
-  pending_.emplace(ev->id, ev);
-  queue_.push(ev);
+  insert_event(ref.index, ev);
   ++live_events_;
   ++timer_ops_;
-  return ev->id;
+  *out = ev;
+  return encode_id(ref);
 }
 
-EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
-  if (delay < kNoDuration) delay = kNoDuration;
-  return push(now_ + delay, std::move(fn));
+void Simulator::insert_event(std::uint32_t index, Event* ev) {
+  if (batch_loaded_) {
+    if (ev->when_ns == batch_when_ns_) {
+      // Same-instant schedule while that instant is being dispatched (or is
+      // loaded for dispatch): append. The new seq is larger than every seq
+      // already in the batch, so the sorted order is preserved.
+      ev->where = Event::kInBatch;
+      batch_.push_back({ev->seq, index, pool_.generation_of(index)});
+      return;
+    }
+    if (ev->when_ns < batch_when_ns_) {
+      // A new event lands before an already-extracted (but not yet started)
+      // batch — only reachable after a run_until overshoot peeked ahead.
+      // Re-anchor everything to now_; this also unloads the batch, and may
+      // move the frontier back across a top-level window boundary, which is
+      // why a full re-place is required rather than a cursor tweak.
+      LL_DCHECK(!batch_started_);
+      rebuild_from_now();
+    }
+  }
+  if (ev->when_ns >= horizon_ns_) {
+    ev->where = Event::kInHeap;
+    overflow_.push_back({ev->when_ns, ev->seq, index, pool_.generation_of(index)});
+    std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    ++heap_live_;
+    return;
+  }
+  place_in_wheel(index, ev);
 }
 
-EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
-  if (when < now_) when = now_;
-  return push(when, std::move(fn));
+void Simulator::place_in_wheel(std::uint32_t index, Event* ev) {
+  LL_DCHECK(ev->when_ns >= cursor_ns_);
+  LL_DCHECK(ev->when_ns < horizon_ns_);
+  const std::uint64_t diff = ev->when_ns ^ cursor_ns_;
+  unsigned level = 0;
+  if (diff != 0) {
+    level = (63u - static_cast<unsigned>(std::countl_zero(diff))) / kWheelBits;
+  }
+  LL_DCHECK(level < kWheelLevels);
+  // The mask keeps the slot field in [0, kWheelSlots): narrowing is safe.
+  const std::uint64_t slot_field =
+      (ev->when_ns >> (kWheelBits * level)) & (kWheelSlots - 1);
+  const unsigned s = static_cast<unsigned>(slot_field);
+  ev->level = static_cast<std::uint8_t>(level);
+  ev->slot = static_cast<std::uint8_t>(s);
+  ev->where = Event::kInWheel;
+  ev->prev = kNil;
+  ev->next = heads_[level][s];
+  if (ev->next != kNil) pool_.at(ev->next)->prev = index;
+  heads_[level][s] = index;
+  bitmap_[level][s >> 6] |= std::uint64_t{1} << (s & 63);
+  ++wheel_live_;
+}
+
+void Simulator::unlink_from_wheel(Event* ev) {
+  if (ev->prev != kNil) {
+    pool_.at(ev->prev)->next = ev->next;
+  } else {
+    heads_[ev->level][ev->slot] = ev->next;
+  }
+  if (ev->next != kNil) pool_.at(ev->next)->prev = ev->prev;
+  if (heads_[ev->level][ev->slot] == kNil) {
+    bitmap_[ev->level][ev->slot >> 6] &=
+        ~(std::uint64_t{1} << (ev->slot & 63));
+  }
+  LL_DCHECK(wheel_live_ > 0);
+  --wheel_live_;
 }
 
 void Simulator::cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return;
+  const std::uint64_t index_plus_1 = id >> 32;
+  if (index_plus_1 == 0) return;
+  const EventPool::Ref ref{static_cast<std::uint32_t>(index_plus_1 - 1),
+                           static_cast<std::uint32_t>(id & 0xffffffffu)};
+  Event* ev = pool_.get(ref);
+  if (ev == nullptr) return;  // stale (fired or already cancelled): no-op
   ++timer_ops_;
-  if (auto ev = it->second.lock()) {
-    if (!ev->cancelled) {
-      ev->cancelled = true;
-      LL_DCHECK(live_events_ > 0);
-      --live_events_;
-    }
+  if (ev->where == Event::kInWheel) {
+    unlink_from_wheel(ev);
+  } else if (ev->where == Event::kInHeap) {
+    // The overflow/batch entry stays behind; releasing the slot bumps its
+    // generation so the entry reads as stale and is skipped at pop.
+    LL_DCHECK(heap_live_ > 0);
+    --heap_live_;
   }
-  pending_.erase(it);
+  pool_.release(ref);
+  LL_DCHECK(live_events_ > 0);
+  --live_events_;
+}
+
+Simulator::Event* Simulator::advance_to_live() {
+  while (true) {
+    if (!batch_loaded_ && !load_batch()) return nullptr;
+    while (batch_pos_ < batch_.size()) {
+      const BatchEntry& e = batch_[batch_pos_];
+      Event* ev = pool_.get({e.index, e.generation});
+      if (ev != nullptr) return ev;
+      ++batch_pos_;  // cancelled while batched; slot already recycled
+    }
+    batch_.clear();
+    batch_pos_ = 0;
+    batch_loaded_ = false;
+    batch_started_ = false;
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    std::shared_ptr<Event> ev = queue_.top();
-    queue_.pop();
-    if (ev->cancelled) continue;
-    // Heap-order / clock invariant: the whole testbed's repeatability rests
-    // on virtual time never going backwards.
-    LL_INVARIANT(ev->when >= now_)
-        << "event " << ev->id << " would rewind the clock from "
-        << now_.time_since_epoch().count() << "ns to "
-        << ev->when.time_since_epoch().count() << "ns";
-    const std::size_t erased = pending_.erase(ev->id);
-    LL_DCHECK(erased == 1) << "fired event " << ev->id
-                           << " missing from pending index";
-    LL_DCHECK(live_events_ > 0);
-    --live_events_;
-    now_ = ev->when;
-    ++dispatched_;
-    ev->fn();
-    return true;
-  }
-  return false;
+  Event* ev = advance_to_live();
+  if (ev == nullptr) return false;
+  const BatchEntry e = batch_[batch_pos_++];
+  // Batch-order / clock invariant: the whole testbed's repeatability rests
+  // on virtual time never going backwards.
+  LL_INVARIANT(batch_when_ns_ >= to_ticks(now_))
+      << "event seq " << e.seq << " would rewind the clock from "
+      << now_.time_since_epoch().count() << "ns to " << batch_when_ns_ << "ns";
+  now_ = from_ticks(batch_when_ns_);
+  batch_started_ = true;
+  // Retire the id before the callback runs (the old implementation erased
+  // the pending_ entry first, for the same reason): cancelling your own id
+  // from inside the callback is a stale no-op.
+  pool_.invalidate({e.index, e.generation});
+  LL_DCHECK(live_events_ > 0);
+  --live_events_;
+  ++dispatched_;
+  ev->fn.invoke();
+  // The callback may have grown the pool, but nodes never move; release by
+  // index (the generation was retired above, so the ref is deliberately
+  // stale — nothing else can have recycled a slot that was never freed).
+  pool_.release({e.index, e.generation});
+  return true;
 }
 
 bool Simulator::run(std::uint64_t max_events) {
@@ -80,16 +168,179 @@ bool Simulator::run(std::uint64_t max_events) {
 }
 
 void Simulator::run_until(TimePoint deadline) {
-  while (!queue_.empty()) {
-    std::shared_ptr<Event> ev = queue_.top();
-    if (ev->cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (ev->when > deadline) break;
+  if (deadline < now_) return;
+  const std::uint64_t deadline_ns = to_ticks(deadline);
+  // A batch loaded beyond the deadline stays loaded (it is the next thing
+  // to dispatch); insert_event() re-anchors if an earlier event arrives.
+  while (advance_to_live() != nullptr && batch_when_ns_ <= deadline_ns) {
     step();
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::load_batch() {
+  LL_DCHECK(!batch_loaded_ && batch_.empty());
+  while (true) {
+    if (wheel_live_ == 0) {
+      if (heap_live_ == 0) return false;
+      pull_overflow();
+      continue;
+    }
+    // Lowest occupied level, scanning each level from the frontier's slot
+    // index (inclusive — a run_until time jump leaves the frontier mid-way
+    // through windows whose events still sit in their original slots).
+    bool advanced = false;
+    for (unsigned level = 0; level < kWheelLevels; ++level) {
+      const unsigned from = static_cast<unsigned>(
+          (cursor_ns_ >> (kWheelBits * level)) & (kWheelSlots - 1));
+      const int s = find_occupied(level, from);
+      if (s < 0) continue;
+      if (level == 0) {
+        extract_slot_to_batch(static_cast<unsigned>(s));
+        return true;
+      }
+      cascade(level, static_cast<unsigned>(s));
+      advanced = true;
+      break;
+    }
+    LL_INVARIANT(advanced) << "timer wheel lost track of " << wheel_live_
+                           << " pending events";
+  }
+}
+
+void Simulator::extract_slot_to_batch(unsigned s) {
+  // Level-0 slots are exact-nanosecond instants: advance the frontier to
+  // the slot's time and lift its events out as the next dispatch batch.
+  cursor_ns_ = (cursor_ns_ & ~std::uint64_t{kWheelSlots - 1}) | s;
+  batch_when_ns_ = cursor_ns_;
+  std::uint32_t idx = heads_[0][s];
+  heads_[0][s] = kNil;
+  bitmap_[0][s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  while (idx != kNil) {
+    Event* ev = pool_.at(idx);
+    LL_DCHECK(ev->when_ns == batch_when_ns_);
+    ev->where = Event::kInBatch;
+    batch_.push_back({ev->seq, idx, pool_.generation_of(idx)});
+    idx = ev->next;
+    LL_DCHECK(wheel_live_ > 0);
+    --wheel_live_;
+  }
+  // The slot list is LIFO; sorting by seq restores FIFO for the tie-break.
+  std::sort(batch_.begin(), batch_.end(),
+            [](const BatchEntry& a, const BatchEntry& b) {
+              return a.seq < b.seq;
+            });
+  batch_pos_ = 0;
+  batch_loaded_ = true;
+  batch_started_ = false;
+}
+
+void Simulator::cascade(unsigned level, unsigned s) {
+  // Advance the frontier to the slot's base time, then re-place the slot's
+  // events relative to the new frontier: each lands at a lower level.
+  const unsigned shift = kWheelBits * (level + 1);
+  cursor_ns_ = (cursor_ns_ >> shift << shift) |
+               (static_cast<std::uint64_t>(s) << (kWheelBits * level));
+  std::uint32_t idx = heads_[level][s];
+  heads_[level][s] = kNil;
+  bitmap_[level][s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  while (idx != kNil) {
+    Event* ev = pool_.at(idx);
+    const std::uint32_t next = ev->next;
+    LL_DCHECK(wheel_live_ > 0);
+    --wheel_live_;
+    place_in_wheel(idx, ev);
+    idx = next;
+  }
+}
+
+void Simulator::pull_overflow() {
+  // Drop stale (cancelled) entries off the top.
+  while (!overflow_.empty()) {
+    const HeapEntry& top = overflow_.front();
+    if (pool_.get({top.index, top.generation}) != nullptr) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    overflow_.pop_back();
+  }
+  LL_INVARIANT(!overflow_.empty())
+      << "overflow heap lost track of " << heap_live_ << " pending events";
+  // Move the frontier into the earliest far-future event's top-level window
+  // and pull every overflow event inside that window into the wheel.
+  const std::uint64_t window = overflow_.front().when_ns >> kWheelSpanBits;
+  cursor_ns_ = window << kWheelSpanBits;
+  horizon_ns_ = (window + 1) << kWheelSpanBits;
+  while (!overflow_.empty() && overflow_.front().when_ns < horizon_ns_) {
+    const HeapEntry top = overflow_.front();
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    overflow_.pop_back();
+    Event* ev = pool_.get({top.index, top.generation});
+    if (ev == nullptr) continue;  // cancelled; slot already recycled
+    LL_DCHECK(heap_live_ > 0);
+    --heap_live_;
+    place_in_wheel(top.index, ev);
+  }
+}
+
+void Simulator::rebuild_from_now() {
+  // Collect every wheel node...
+  scratch_.clear();
+  for (unsigned level = 0; level < kWheelLevels; ++level) {
+    for (unsigned w = 0; w < kWheelSlots / 64; ++w) {
+      std::uint64_t word = bitmap_[level][w];
+      bitmap_[level][w] = 0;
+      while (word != 0) {
+        const unsigned s =
+            (w << 6) + static_cast<unsigned>(std::countr_zero(word));
+        word &= word - 1;
+        std::uint32_t idx = heads_[level][s];
+        heads_[level][s] = kNil;
+        while (idx != kNil) {
+          scratch_.push_back(idx);
+          idx = pool_.at(idx)->next;
+        }
+      }
+    }
+  }
+  wheel_live_ = 0;
+  // ...plus the still-live entries of the loaded batch...
+  for (std::size_t i = batch_pos_; i < batch_.size(); ++i) {
+    if (pool_.get({batch_[i].index, batch_[i].generation}) != nullptr) {
+      scratch_.push_back(batch_[i].index);
+    }
+  }
+  batch_.clear();
+  batch_pos_ = 0;
+  batch_loaded_ = false;
+  batch_started_ = false;
+  // ...and re-place them against a frontier re-anchored at now_.
+  cursor_ns_ = to_ticks(now_);
+  horizon_ns_ = ((cursor_ns_ >> kWheelSpanBits) + 1) << kWheelSpanBits;
+  for (const std::uint32_t idx : scratch_) {
+    Event* ev = pool_.at(idx);
+    if (ev->when_ns >= horizon_ns_) {
+      ev->where = Event::kInHeap;
+      overflow_.push_back(
+          {ev->when_ns, ev->seq, idx, pool_.generation_of(idx)});
+      std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+      ++heap_live_;
+    } else {
+      place_in_wheel(idx, ev);
+    }
+  }
+  scratch_.clear();
+}
+
+int Simulator::find_occupied(unsigned level, unsigned from) const {
+  unsigned w = from >> 6;
+  std::uint64_t word = bitmap_[level][w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      return static_cast<int>((w << 6) +
+                              static_cast<unsigned>(std::countr_zero(word)));
+    }
+    if (++w >= kWheelSlots / 64) return -1;
+    word = bitmap_[level][w];
+  }
 }
 
 }  // namespace longlook

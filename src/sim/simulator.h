@@ -3,16 +3,35 @@
 // Components schedule callbacks at absolute or relative virtual times; the
 // simulator dispatches them in (time, insertion-order) order, so simultaneous
 // events run FIFO and results are bit-for-bit repeatable for a given seed.
+//
+// The dispatch structure is a hierarchical timer wheel over pooled event
+// nodes, replacing the original priority_queue<shared_ptr<Event>> +
+// unordered_map cancel index. Design notes (full write-up in DESIGN.md):
+//
+//   * kWheelLevels levels of kWheelSlots slots, kWheelBits bits per level,
+//     with a 1ns tick: a level-0 slot holds exactly one nanosecond instant,
+//     so extracting a slot and sorting it by insertion seq reproduces the
+//     exact (time, seq) FIFO order of the old heap.
+//   * An event lands at the level of its highest bit differing from the
+//     dispatch frontier (cursor_ns_); higher-level slots cascade down as the
+//     frontier reaches them. Events at or past horizon_ns_ — the end of the
+//     frontier's top-level window — wait in a far-future overflow min-heap.
+//   * Event nodes come from an ObjectPool: acquire/release are freelist
+//     pushes, addresses are stable, and EventIds carry the slot generation,
+//     making cancel O(1), allocation-free, and immune to id reuse (ABA).
+//   * Dispatch drains one level-0 slot at a time into batch_, a sorted
+//     same-timestamp run processed back to back for cache locality.
 #pragma once
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sim/callback.h"
+#include "util/check.h"
+#include "util/pool.h"
 #include "util/time.h"
 
 namespace longlook {
@@ -22,17 +41,31 @@ constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint now() const { return now_; }
 
   // Schedules `fn` to run `delay` from now (clamped at now for negative).
-  EventId schedule(Duration delay, std::function<void()> fn);
-  EventId schedule_at(TimePoint when, std::function<void()> fn);
+  template <typename F>
+  EventId schedule(Duration delay, F&& fn) {
+    if (delay < kNoDuration) delay = kNoDuration;
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  // Cancels a pending event. Safe to call with stale/fired ids.
+  template <typename F>
+  EventId schedule_at(TimePoint when, F&& fn) {
+    if (when < now_) when = now_;
+    Event* ev = nullptr;
+    const EventId id = create_event(when, &ev);
+    ev->fn.emplace(std::forward<F>(fn), &callback_heap_allocs_);
+    return id;
+  }
+
+  // Cancels a pending event. Safe to call with stale/fired ids: a stale id
+  // is a true no-op (no counter movement, and — thanks to the generation
+  // tag — no risk of cancelling an unrelated event that recycled the slot).
   void cancel(EventId id);
 
   // Runs one event; false if the queue is empty.
@@ -50,35 +83,111 @@ class Simulator {
   // the harness folds this into the obs::Profiler per-run counters).
   std::uint64_t timer_ops() const { return timer_ops_; }
 
+  // Allocation telemetry for the perf-floor gate. Both depend only on the
+  // simulated workload, so they are deterministic per run.
+  //
+  // Slots ever created by the event pool == high-water mark of concurrently
+  // pending events; every schedule beyond it recycled a node.
+  std::uint64_t event_pool_slots() const { return pool_.allocated_slots(); }
+  // Callbacks too big for EventCallback's inline buffer (heap fallback).
+  std::uint64_t callback_heap_allocs() const { return callback_heap_allocs_; }
+
  private:
+  static constexpr unsigned kWheelBits = 8;
+  static constexpr unsigned kWheelSlots = 1u << kWheelBits;
+  static constexpr unsigned kWheelLevels = 6;
+  static constexpr unsigned kWheelSpanBits = kWheelBits * kWheelLevels;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Event {
-    TimePoint when{};
+    enum Where : std::uint8_t { kInWheel, kInHeap, kInBatch };
+
+    std::uint64_t when_ns = 0;
     std::uint64_t seq = 0;
-    EventId id = kInvalidEventId;
-    std::function<void()> fn;
-    bool cancelled = false;
+    // Intrusive doubly-linked slot list (pool indices) for O(1) unlink.
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    std::uint8_t where = kInWheel;
+    EventCallback fn;
   };
-  struct Later {
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->when != b->when) return a->when > b->when;
-      return a->seq > b->seq;
+  using EventPool = util::ObjectPool<Event>;
+
+  // Far-future events, min-heap by (when, seq). Entries of cancelled events
+  // go stale (generation mismatch) and are skipped at pop.
+  struct HeapEntry {
+    std::uint64_t when_ns = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t index = kNil;
+    std::uint32_t generation = 0;
+  };
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
+      return a.seq > b.seq;
     }
   };
 
-  EventId push(TimePoint when, std::function<void()> fn);
+  // One same-timestamp event in the current dispatch batch.
+  struct BatchEntry {
+    std::uint64_t seq = 0;
+    std::uint32_t index = kNil;
+    std::uint32_t generation = 0;
+  };
 
-  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
-                      Later>
-      queue_;
-  // Pending-event lookup for O(1) cancel; entries removed as events fire.
-  std::unordered_map<EventId, std::weak_ptr<Event>> pending_;
+  static EventId encode_id(EventPool::Ref ref) {
+    // index+1 keeps every valid id nonzero (kInvalidEventId == 0).
+    return (static_cast<EventId>(ref.index) + 1) << 32 | ref.generation;
+  }
+
+  static std::uint64_t to_ticks(TimePoint t) {
+    const std::int64_t ns = t.time_since_epoch().count();
+    LL_DCHECK(ns >= 0);
+    return static_cast<std::uint64_t>(ns);
+  }
+  static TimePoint from_ticks(std::uint64_t ticks) {
+    return TimePoint(Duration(static_cast<std::int64_t>(ticks)));
+  }
+
+  EventId create_event(TimePoint when, Event** out);
+  void insert_event(std::uint32_t index, Event* ev);
+  void place_in_wheel(std::uint32_t index, Event* ev);
+  void unlink_from_wheel(Event* ev);
+  Event* advance_to_live();
+  bool load_batch();
+  void extract_slot_to_batch(unsigned s);
+  void cascade(unsigned level, unsigned s);
+  void pull_overflow();
+  void rebuild_from_now();
+  int find_occupied(unsigned level, unsigned from) const;
+
+  EventPool pool_;
+  std::uint32_t heads_[kWheelLevels][kWheelSlots];
+  std::uint64_t bitmap_[kWheelLevels][kWheelSlots / 64];
+  std::vector<HeapEntry> overflow_;
+  std::vector<BatchEntry> batch_;
+  std::size_t batch_pos_ = 0;
+  std::uint64_t batch_when_ns_ = 0;
+  bool batch_loaded_ = false;
+  bool batch_started_ = false;
+  // Dispatch frontier: every queued event satisfies when >= cursor_ns_, and
+  // all wheel placement math is relative to it. Runs ahead of now_ only
+  // while a batch is loaded (then cursor_ns_ == batch_when_ns_).
+  std::uint64_t cursor_ns_ = 0;
+  // End of the frontier's top-level window; events at or past it overflow
+  // to the heap. Always cursor_ns_ < horizon_ns_ <= cursor_ns_ + 2^48.
+  std::uint64_t horizon_ns_ = std::uint64_t{1} << kWheelSpanBits;
+  std::size_t wheel_live_ = 0;
+  std::size_t heap_live_ = 0;  // live (non-cancelled) overflow entries
+  std::vector<std::uint32_t> scratch_;
+
   TimePoint now_{};
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::size_t live_events_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t timer_ops_ = 0;
+  std::uint64_t callback_heap_allocs_ = 0;
 };
 
 }  // namespace longlook

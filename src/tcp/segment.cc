@@ -1,5 +1,7 @@
 #include "tcp/segment.h"
 
+#include "util/pool.h"
+
 namespace longlook::tcp {
 
 namespace {
@@ -11,7 +13,9 @@ constexpr std::uint8_t kFlagDsack = 1 << 4;
 }  // namespace
 
 Bytes encode_segment(const TcpSegment& seg) {
-  ByteWriter w(seg.payload.size() + 64);
+  // Recycled payload block (see util::BytesPool); returned to the pool by
+  // the receiving host or the dropping link.
+  ByteWriter w(util::BytesPool::local().acquire(seg.payload.size() + 64));
   w.u16(seg.src_port);
   w.u16(seg.dst_port);
   w.u64(seg.seq);

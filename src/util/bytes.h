@@ -22,6 +22,9 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  // Adopts an existing (empty) buffer — the hook for recycling packet
+  // payload blocks through util::BytesPool instead of allocating per encode.
+  explicit ByteWriter(Bytes&& initial) : buf_(std::move(initial)) {}
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);

@@ -96,7 +96,11 @@ void mutate(Bytes& buf, XorShift& rng) {
 
 // Deterministic seed corpus: a spread of valid wire packets covering every
 // frame type, multi-frame packets, and the empty/ping edge. Committed
-// under tests/fuzz/corpus/ and regenerated with --write-seeds.
+// under tests/fuzz/corpus/ and regenerated with --write-seeds (which only
+// writes seed_00..seed_05; the higher-numbered committed seeds are real
+// datagrams captured off a pooled-buffer page-load run — CHLO, REJ, a
+// full-size zero-body stream packet, and a bare ack — and are never
+// regenerated here).
 std::vector<Bytes> make_seed_corpus() {
   using namespace longlook;
   using namespace longlook::quic;

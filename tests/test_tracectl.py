@@ -11,7 +11,10 @@ Pins the trace-analysis CLI:
     cwnd collapse and stays silent on a clean trace;
   * `diff` reports per-event-class deltas and exits 0 on identical dirs;
   * bench_report `det` output is canonical (byte-equal for equal
-    deterministic sections) and `check` gates on it.
+    deterministic sections) and `check` gates on it;
+  * bench_report `perf-floor` hard-gates exact work counters and
+    allocation ceilings, warns (never fails) on events/sec, and guards
+    against rounds miscalibration and missing results.
 
 Usage: test_tracectl.py   (exit 0 pass, 1 fail)
 """
@@ -317,6 +320,80 @@ def test_bench_hist(td):
           f"hist: unmatched key should exit 2: rc={code} {err}")
 
 
+def floor_result(rounds, counters, events_per_sec=1000000):
+    return {
+        "v": 1, "name": "floory", "rounds": rounds,
+        "deterministic": {"sections": []},
+        "profile": {"wall_ns": 1000, "jobs": 1,
+                    "events_per_sec": events_per_sec,
+                    "agg": {"counters": counters}},
+    }
+
+
+def test_perf_floor(td):
+    res = os.path.join(td, "floor_results")
+    os.makedirs(res)
+
+    def write_result(data):
+        with open(os.path.join(res, "BENCH_floory.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(data, f)
+
+    def write_floors(spec):
+        path = os.path.join(td, "floors.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"v": 1, "benches": {"floory": spec}}, f)
+        return path
+
+    # Green: exact counters match, allocation counter under its ceiling,
+    # and a zero counter (elided from the JSON by the profiler) reads as 0.
+    write_result(floor_result(1, {"sim_events": 500, "timer_ops": 700,
+                                  "sim_event_pool_slots": 40}))
+    floors = write_floors({"rounds": 1,
+                           "exact": {"sim_events": 500, "timer_ops": 700},
+                           "max": {"sim_event_pool_slots": 64,
+                                   "sim_callback_heap": 0}})
+    code, out, _ = run(bench_report, ["perf-floor", res, "--floors", floors])
+    check(code == 0 and "1 result(s) meet" in out,
+          f"perf-floor green: rc={code}: {out}")
+
+    # Exact counter drift is a hard failure (behaviour change, not noise).
+    write_result(floor_result(1, {"sim_events": 501, "timer_ops": 700}))
+    code, out, _ = run(bench_report, ["perf-floor", res, "--floors", floors])
+    check(code == 1 and "sim_events = 501 (expected exactly 500)" in out,
+          f"perf-floor exact drift: rc={code}: {out}")
+
+    # Allocation ceiling breach is a hard failure.
+    write_result(floor_result(1, {"sim_events": 500, "timer_ops": 700,
+                                  "sim_event_pool_slots": 65}))
+    code, out, _ = run(bench_report, ["perf-floor", res, "--floors", floors])
+    check(code == 1 and "exceeds ceiling 64" in out,
+          f"perf-floor ceiling: rc={code}: {out}")
+
+    # Rounds mismatch refuses to compare miscalibrated counters.
+    write_result(floor_result(5, {"sim_events": 500, "timer_ops": 700}))
+    code, out, _ = run(bench_report, ["perf-floor", res, "--floors", floors])
+    check(code == 1 and "rounds=5" in out and "rounds=1" in out,
+          f"perf-floor rounds guard: rc={code}: {out}")
+
+    # events/sec floor is informational: WARN on stdout, exit still 0.
+    write_result(floor_result(1, {"sim_events": 500, "timer_ops": 700},
+                              events_per_sec=10))
+    floors = write_floors({"rounds": 1, "exact": {"sim_events": 500},
+                           "min_events_per_sec": 1000})
+    code, out, _ = run(bench_report, ["perf-floor", res, "--floors", floors])
+    check(code == 0 and "WARN" in out and "not gated" in out,
+          f"perf-floor informational rate: rc={code}: {out}")
+
+    # A bench named in the floors but absent from the results dir fails —
+    # silently skipping would let the gate rot.
+    floors = write_floors({"rounds": 1, "exact": {"sim_events": 500}})
+    os.remove(os.path.join(res, "BENCH_floory.json"))
+    code, out, _ = run(bench_report, ["perf-floor", res, "--floors", floors])
+    check(code == 1 and "missing" in out,
+          f"perf-floor missing result: rc={code}: {out}")
+
+
 def main_selftest():
     with tempfile.TemporaryDirectory() as td:
         test_validate_ok(td)
@@ -325,14 +402,15 @@ def main_selftest():
         test_summarize_and_diff(td)
         test_bench_report(td)
         test_bench_hist(td)
+        test_perf_floor(td)
     if failures:
         print("tracectl_selftest: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
     print("tracectl_selftest: OK (validate strict + crash-free on fuzz "
-          "cases, detect golden, diff, bench_report det/check/diff/hist "
-          "pinned)")
+          "cases, detect golden, diff, bench_report det/check/diff/hist/"
+          "perf-floor pinned)")
     return 0
 
 

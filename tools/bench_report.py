@@ -18,6 +18,11 @@ Subcommands:
   check <dir> --baselines <dir>     CI gate: deterministic sections must match
                                     the committed baselines exactly; profile is
                                     threshold-only and off by default
+  perf-floor <dir> --floors <json>  CI gate: profile-section work counters
+                                    (events dispatched, timer ops) must match
+                                    committed values exactly and allocation
+                                    counters must stay under their ceilings;
+                                    events/sec is informational only
   hist <path...> [--key] [--markdown]
                                     render metric distributions: the per-cell
                                     `metrics` histograms inside BENCH_*.json
@@ -234,6 +239,99 @@ def cmd_check(args: argparse.Namespace) -> int:
                      label_a="baselines", label_b=args.dir)
 
 
+# -------------------------------------------------------------- perf-floor
+
+
+def profile_counters(data: dict) -> Dict[str, int]:
+    """The profiler's aggregated counters (profile.agg.counters)."""
+    agg = (data.get("profile") or {}).get("agg") or {}
+    counters = agg.get("counters") or {}
+    return {k: v for k, v in counters.items() if isinstance(v, int)}
+
+
+def check_floor_entry(name: str, data: dict, floor: dict) -> List[str]:
+    """Gate one result against its floor spec. Returns hard failures.
+
+    Floor spec keys:
+      rounds             guard: the result must have been produced at this
+                         LL_BENCH_ROUNDS (counters scale with rounds)
+      exact              counter -> value; must match exactly. These are
+                         virtual-time work counts (events dispatched, timer
+                         ops) — any drift is a behaviour change, not noise.
+      max                counter -> ceiling; must not exceed. Allocation
+                         telemetry: a rising pool high-water mark or
+                         oversized-callback count is an allocation
+                         regression even when wall time looks fine.
+      min_events_per_sec informational only: prints a warning on a slow
+                         run but never fails (machine/load dependent).
+    """
+    problems: List[str] = []
+    rounds = floor.get("rounds")
+    if rounds is not None and data.get("rounds") != rounds:
+        problems.append(
+            f"{name}: produced at rounds={data.get('rounds')}, floors "
+            f"calibrated for rounds={rounds} (set LL_BENCH_ROUNDS={rounds})")
+        return problems
+    counters = profile_counters(data)
+    # The profiler elides zero-valued counters from the JSON, so a missing
+    # counter reads as 0 (e.g. sim_callback_heap when every callback fits
+    # the inline storage).
+    for key, want in sorted((floor.get("exact") or {}).items()):
+        got = counters.get(key, 0)
+        if got != want:
+            problems.append(
+                f"{name}: counter {key} = {got} (expected exactly {want})")
+    for key, ceiling in sorted((floor.get("max") or {}).items()):
+        got = counters.get(key, 0)
+        if got > ceiling:
+            problems.append(
+                f"{name}: counter {key} = {got} exceeds ceiling {ceiling}")
+    floor_rate = floor.get("min_events_per_sec")
+    if floor_rate is not None:
+        rate = (data.get("profile") or {}).get("events_per_sec")
+        if isinstance(rate, (int, float)) and rate < floor_rate:
+            print(f"{name}: WARN events_per_sec {rate:.0f} below "
+                  f"informational floor {floor_rate} (not gated)")
+    return problems
+
+
+def cmd_perf_floor(args: argparse.Namespace) -> int:
+    try:
+        with open(args.floors, "r", encoding="utf-8") as f:
+            floors = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_report perf-floor: {e}", file=sys.stderr)
+        return 2
+    benches = floors.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        print(f"bench_report perf-floor: {args.floors} has no 'benches'",
+              file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    checked = 0
+    for bench, floor in sorted(benches.items()):
+        path = os.path.join(args.dir, f"BENCH_{bench}.json")
+        if not os.path.isfile(path):
+            problems.append(f"BENCH_{bench}.json: missing from {args.dir}")
+            continue
+        try:
+            data = load_result(path)
+        except (ValueError, OSError, json.JSONDecodeError) as e:
+            problems.append(str(e))
+            continue
+        problems.extend(check_floor_entry(f"BENCH_{bench}.json", data, floor))
+        checked += 1
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"bench_report perf-floor: {len(problems)} problem(s) across "
+              f"{checked} checked result(s)")
+        return 1
+    print(f"bench_report perf-floor: {checked} result(s) meet "
+          f"{args.floors}")
+    return 0
+
+
 # -------------------------------------------------------------------- hist
 
 # Mirrors obs::Histogram's log-linear bucketing (src/obs/histogram.h):
@@ -423,6 +521,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also gate profile rates at this percent "
                         "(0 = deterministic-only, the default)")
     c.set_defaults(fn=cmd_check)
+
+    pf = sub.add_parser(
+        "perf-floor",
+        help="CI gate: deterministic work/allocation counters against "
+             "committed floors (bench/perf_floors.json)")
+    pf.add_argument("dir", help="freshly produced results")
+    pf.add_argument("--floors", required=True,
+                    help="JSON floor spec (see bench/perf_floors.json)")
+    pf.set_defaults(fn=cmd_perf_floor)
 
     h = sub.add_parser(
         "hist",
