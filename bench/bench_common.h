@@ -16,6 +16,7 @@
 // "Machine-readable bench results" and tools/bench_report.py.
 #pragma once
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/compare.h"
@@ -42,12 +44,38 @@ namespace longlook::bench {
 struct BenchOptions {
   std::string trace_dir;  // --trace-out <dir>, else $LL_TRACE_OUT
   std::string json_out;   // --json-out <path>, else $LL_BENCH_JSON
+  // Workload scenario DSL strings (--scenario, repeatable); consumed by
+  // bench_perf, rejected as unknown by the figure benches via
+  // parse_args(..., /*accept_scenarios=*/false).
+  std::vector<std::string> scenarios;
 };
 
+// Strict positive-int parse for CLI/env numeric options: the whole token
+// must be digits and fit an int. Rejects what atoi silently accepted —
+// "5x", "", overflow — so a typoed rounds count fails loudly instead of
+// running the wrong experiment.
+inline bool parse_positive_int(std::string_view text, int* out) {
+  int v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto res = std::from_chars(begin, end, v);
+  if (res.ec != std::errc() || res.ptr != end || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+namespace detail {
+// --rounds override; 0 = not set (fall back to LL_BENCH_ROUNDS / default).
+inline int g_rounds_override = 0;
+}  // namespace detail
+
 inline int rounds() {
+  if (detail::g_rounds_override > 0) return detail::g_rounds_override;
   if (const char* env = std::getenv("LL_BENCH_ROUNDS")) {
-    const int r = std::atoi(env);
-    if (r > 0) return r;
+    // Malformed values are rejected (with the token named) by parse_args
+    // before any bench consults this.
+    int r = 0;
+    if (parse_positive_int(env, &r)) return r;
   }
   return 5;  // 10 in the paper; 5 keeps the full suite fast and still
              // yields p < 0.01 for the effects the paper calls significant
@@ -262,36 +290,108 @@ inline BenchContext& context() {
   return ctx;
 }
 
-// Shared bench CLI: `--trace-out <dir>` routes structured JSON-lines traces
-// + metrics for every run into <dir>; `--json-out <path>` writes the
-// machine-readable BENCH_<name>.json. Both accept `--flag=value` too and
-// fall back to LL_TRACE_OUT / LL_BENCH_JSON. Initializes the bench context
-// and returns the parsed options.
-inline BenchOptions parse_args(int argc, char** argv) {
+// Side-effect-free parse outcome: on failure `error` names the offending
+// token (unknown option, missing value, or malformed integer) so the
+// caller's diagnostic — and the regression tests — can point at it.
+struct ParsedArgs {
   BenchOptions opts;
-  if (const char* env = std::getenv("LL_TRACE_OUT")) opts.trace_dir = env;
-  if (const char* env = std::getenv("LL_BENCH_JSON")) opts.json_out = env;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trace-out" && i + 1 < argc) {
-      opts.trace_dir = argv[++i];
-    } else if (arg.rfind("--trace-out=", 0) == 0) {
-      opts.trace_dir = arg.substr(12);
-    } else if (arg == "--json-out" && i + 1 < argc) {
-      opts.json_out = argv[++i];
-    } else if (arg.rfind("--json-out=", 0) == 0) {
-      opts.json_out = arg.substr(11);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--trace-out <dir>] [--json-out <path>]\n"
-                   "  (env: LL_TRACE_OUT, LL_BENCH_JSON, LL_BENCH_ROUNDS,"
-                   " LL_JOBS)\n",
-                   argv[0]);
-      std::exit(2);
+  int rounds = 0;  // --rounds override; 0 = not set
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+// Parses a bench CLI without touching process state (no exit, no context
+// init) — the testable core of parse_args. Env fallbacks for trace/json
+// paths are applied here; LL_BENCH_ROUNDS is validated here so a malformed
+// value hard-errors instead of being atoi-truncated into a silently wrong
+// round count.
+inline ParsedArgs parse_args_core(int argc, const char* const* argv,
+                                  bool accept_scenarios = false) {
+  ParsedArgs out;
+  if (const char* env = std::getenv("LL_TRACE_OUT")) {
+    out.opts.trace_dir = env;
+  }
+  if (const char* env = std::getenv("LL_BENCH_JSON")) out.opts.json_out = env;
+  if (const char* env = std::getenv("LL_BENCH_ROUNDS")) {
+    int r = 0;
+    if (!parse_positive_int(env, &r)) {
+      out.error = "LL_BENCH_ROUNDS='" + std::string(env) +
+                  "' is not a positive integer";
+      return out;
     }
   }
-  context().init(argc > 0 ? argv[0] : "bench", opts);
-  return opts;
+  auto value_of = [&](const std::string& arg, const char* flag,
+                      int* i, std::string* value) -> bool {
+    const std::string eq = std::string(flag) + "=";
+    if (arg == flag) {
+      if (*i + 1 >= argc) {
+        out.error = std::string("option '") + flag + "' requires a value";
+        return false;
+      }
+      *value = argv[++*i];
+      return true;
+    }
+    if (arg.rfind(eq, 0) == 0) {
+      *value = arg.substr(eq.size());
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--trace-out" || arg.rfind("--trace-out=", 0) == 0) {
+      if (!value_of(arg, "--trace-out", &i, &value)) return out;
+      out.opts.trace_dir = value;
+    } else if (arg == "--json-out" || arg.rfind("--json-out=", 0) == 0) {
+      if (!value_of(arg, "--json-out", &i, &value)) return out;
+      out.opts.json_out = value;
+    } else if (arg == "--rounds" || arg.rfind("--rounds=", 0) == 0) {
+      if (!value_of(arg, "--rounds", &i, &value)) return out;
+      if (!parse_positive_int(value, &out.rounds)) {
+        out.error =
+            "option '--rounds' needs a positive integer, got '" + value + "'";
+        return out;
+      }
+    } else if (accept_scenarios &&
+               (arg == "--scenario" || arg.rfind("--scenario=", 0) == 0)) {
+      if (!value_of(arg, "--scenario", &i, &value)) return out;
+      out.opts.scenarios.push_back(value);
+    } else {
+      out.error = "unknown option '" + arg + "'";
+      return out;
+    }
+  }
+  return out;
+}
+
+// Shared bench CLI: `--trace-out <dir>` routes structured JSON-lines traces
+// + metrics for every run into <dir>; `--json-out <path>` writes the
+// machine-readable BENCH_<name>.json; `--rounds <n>` overrides
+// LL_BENCH_ROUNDS. All accept `--flag=value` too and fall back to
+// LL_TRACE_OUT / LL_BENCH_JSON. Any unknown or malformed token is a hard
+// error naming the token (exit 2). Initializes the bench context and
+// returns the parsed options. `accept_scenarios` additionally enables the
+// repeatable `--scenario <dsl>` flag (bench_perf).
+inline BenchOptions parse_args(int argc, char** argv,
+                               bool accept_scenarios = false) {
+  ParsedArgs parsed = parse_args_core(argc, argv, accept_scenarios);
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "%s: error: %s\n"
+                 "usage: %s [--trace-out <dir>] [--json-out <path>]"
+                 " [--rounds <n>]%s\n"
+                 "  (env: LL_TRACE_OUT, LL_BENCH_JSON, LL_BENCH_ROUNDS,"
+                 " LL_JOBS)\n",
+                 argc > 0 ? argv[0] : "bench", parsed.error.c_str(),
+                 argc > 0 ? argv[0] : "bench",
+                 accept_scenarios ? " [--scenario <dsl>]..." : "");
+    std::exit(2);
+  }
+  detail::g_rounds_override = parsed.rounds;
+  context().init(argc > 0 ? argv[0] : "bench", parsed.opts);
+  return parsed.opts;
 }
 
 // Applies the parsed bench options to harness options built by the bench

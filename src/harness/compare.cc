@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <optional>
 
+#include "harness/compare_detail.h"
 #include "net/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -29,6 +30,10 @@ void emit_run_start(obs::TraceSink* sink, const char* proto,
                    .u("object_bytes", workload.object_bytes));
 }
 
+}  // namespace
+
+namespace detail {
+
 void emit_run_summary(obs::TraceSink* sink, bool done, Duration plt,
                       TimePoint now) {
   if (sink == nullptr) return;
@@ -51,9 +56,6 @@ void fold_link_metrics(obs::MetricsRegistry& m, const std::string& p,
          up.delivered_out_of_order + down.delivered_out_of_order);
 }
 
-// Folds the run's simulator/link work volume into the profiler shard. The
-// values themselves are deterministic (virtual-time bookkeeping); only the
-// wall-time histograms alongside them vary run to run.
 void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb) {
   if (prof == nullptr) return;
   prof->add("runs", 1);
@@ -71,7 +73,75 @@ void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb) {
   prof->add("sim_callback_heap", tb.sim().callback_heap_allocs());
 }
 
-}  // namespace
+void fold_quic_run_metrics(const RunObserver& observer, bool done,
+                           Duration plt, http::QuicClientSession& session,
+                           http::QuicObjectServer& server, Testbed& tb) {
+  if (observer.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *observer.metrics;
+  const std::string& p = observer.prefix;
+  const quic::ConnectionStats& cs = session.connection().stats();
+  m.incr(p + "runs");
+  if (!done) m.incr(p + "timeouts");
+  m.incr(p + "packets_sent", cs.packets_sent);
+  m.incr(p + "packets_received", cs.packets_received);
+  m.incr(p + "bytes_sent", cs.bytes_sent);
+  m.incr(p + "stream_bytes_delivered", cs.stream_bytes_delivered);
+  m.incr(p + "packets_declared_lost", cs.packets_declared_lost);
+  m.incr(p + "spurious_losses", cs.spurious_losses);
+  m.incr(p + "tail_loss_probes", cs.tail_loss_probes);
+  m.incr(p + "rto_count", cs.rto_count);
+  m.incr(p + "handshake_rtts", cs.handshake_round_trips);
+  if (const quic::QuicConnection* sc = server.server().latest_connection()) {
+    const quic::ConnectionStats& ss = sc->stats();
+    m.incr(p + "server_packets_sent", ss.packets_sent);
+    m.incr(p + "server_declared_lost", ss.packets_declared_lost);
+    m.incr(p + "server_spurious_losses", ss.spurious_losses);
+    m.incr(p + "server_rto_count", ss.rto_count);
+  }
+  fold_link_metrics(m, p, tb);
+  if (done) m.observe(p + "plt_us", plt.count() / 1000);
+  if (observer.trace != nullptr) {
+    // Histograms first: run:metrics stays the artifact's last line.
+    m.record_histograms_to(*observer.trace, tb.sim().now());
+    m.record_to(*observer.trace, tb.sim().now());
+  }
+}
+
+void fold_tcp_run_metrics(const RunObserver& observer, bool done,
+                          Duration plt, http::H2ClientSession& session,
+                          http::TcpObjectServer& server, Testbed& tb) {
+  if (observer.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *observer.metrics;
+  const std::string& p = observer.prefix;
+  const tcp::TcpStats& cs = session.connection().stats();
+  m.incr(p + "runs");
+  if (!done) m.incr(p + "timeouts");
+  m.incr(p + "segments_sent", cs.segments_sent);
+  m.incr(p + "segments_received", cs.segments_received);
+  m.incr(p + "bytes_sent", cs.bytes_sent);
+  m.incr(p + "retransmitted_segments", cs.retransmitted_segments);
+  m.incr(p + "fast_retransmits", cs.fast_retransmits);
+  m.incr(p + "tail_loss_probes", cs.tail_loss_probes);
+  m.incr(p + "rto_count", cs.rto_count);
+  m.incr(p + "dsack_events", cs.dsack_events);
+  m.incr(p + "handshake_rtts", cs.handshake_round_trips);
+  if (const tcp::TcpConnection* sc = server.server().latest_connection()) {
+    const tcp::TcpStats& ss = sc->stats();
+    m.incr(p + "server_segments_sent", ss.segments_sent);
+    m.incr(p + "server_retransmitted", ss.retransmitted_segments);
+    m.incr(p + "server_dsack_events", ss.dsack_events);
+    m.incr(p + "server_rto_count", ss.rto_count);
+  }
+  fold_link_metrics(m, p, tb);
+  if (done) m.observe(p + "plt_us", plt.count() / 1000);
+  if (observer.trace != nullptr) {
+    // Histograms first: run:metrics stays the artifact's last line.
+    m.record_histograms_to(*observer.trace, tb.sim().now());
+    m.record_to(*observer.trace, tb.sim().now());
+  }
+}
+
+}  // namespace detail
 
 std::optional<double> run_quic_page_load(const Scenario& scenario,
                                          const Workload& workload,
@@ -117,38 +187,12 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
   loader.start();
   const bool done = tb.run_until([&] { return loader.finished(); },
                                  eff->timeout);
-  emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
-  fold_profile_counters(prof, tb);
+  detail::emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
+  detail::fold_profile_counters(prof, tb);
 
-  if (observer != nullptr && observer->metrics != nullptr) {
-    obs::MetricsRegistry& m = *observer->metrics;
-    const std::string& p = observer->prefix;
-    const quic::ConnectionStats& cs = session.connection().stats();
-    m.incr(p + "runs");
-    if (!done) m.incr(p + "timeouts");
-    m.incr(p + "packets_sent", cs.packets_sent);
-    m.incr(p + "packets_received", cs.packets_received);
-    m.incr(p + "bytes_sent", cs.bytes_sent);
-    m.incr(p + "stream_bytes_delivered", cs.stream_bytes_delivered);
-    m.incr(p + "packets_declared_lost", cs.packets_declared_lost);
-    m.incr(p + "spurious_losses", cs.spurious_losses);
-    m.incr(p + "tail_loss_probes", cs.tail_loss_probes);
-    m.incr(p + "rto_count", cs.rto_count);
-    m.incr(p + "handshake_rtts", cs.handshake_round_trips);
-    if (const quic::QuicConnection* sc = server.server().latest_connection()) {
-      const quic::ConnectionStats& ss = sc->stats();
-      m.incr(p + "server_packets_sent", ss.packets_sent);
-      m.incr(p + "server_declared_lost", ss.packets_declared_lost);
-      m.incr(p + "server_spurious_losses", ss.spurious_losses);
-      m.incr(p + "server_rto_count", ss.rto_count);
-    }
-    fold_link_metrics(m, p, tb);
-    if (done) m.observe(p + "plt_us", loader.result().plt.count() / 1000);
-    if (sink != nullptr) {
-      // Histograms first: run:metrics stays the artifact's last line.
-      m.record_histograms_to(*sink, tb.sim().now());
-      m.record_to(*sink, tb.sim().now());
-    }
+  if (observer != nullptr) {
+    detail::fold_quic_run_metrics(*observer, done, loader.result().plt,
+                                  session, server, tb);
   }
   if (!done) return std::nullopt;
   return to_seconds(loader.result().plt);
@@ -191,38 +235,12 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
   loader.start();
   const bool done = tb.run_until([&] { return loader.finished(); },
                                  eff->timeout);
-  emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
-  fold_profile_counters(prof, tb);
+  detail::emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
+  detail::fold_profile_counters(prof, tb);
 
-  if (observer != nullptr && observer->metrics != nullptr) {
-    obs::MetricsRegistry& m = *observer->metrics;
-    const std::string& p = observer->prefix;
-    const tcp::TcpStats& cs = session.connection().stats();
-    m.incr(p + "runs");
-    if (!done) m.incr(p + "timeouts");
-    m.incr(p + "segments_sent", cs.segments_sent);
-    m.incr(p + "segments_received", cs.segments_received);
-    m.incr(p + "bytes_sent", cs.bytes_sent);
-    m.incr(p + "retransmitted_segments", cs.retransmitted_segments);
-    m.incr(p + "fast_retransmits", cs.fast_retransmits);
-    m.incr(p + "tail_loss_probes", cs.tail_loss_probes);
-    m.incr(p + "rto_count", cs.rto_count);
-    m.incr(p + "dsack_events", cs.dsack_events);
-    m.incr(p + "handshake_rtts", cs.handshake_round_trips);
-    if (const tcp::TcpConnection* sc = server.server().latest_connection()) {
-      const tcp::TcpStats& ss = sc->stats();
-      m.incr(p + "server_segments_sent", ss.segments_sent);
-      m.incr(p + "server_retransmitted", ss.retransmitted_segments);
-      m.incr(p + "server_dsack_events", ss.dsack_events);
-      m.incr(p + "server_rto_count", ss.rto_count);
-    }
-    fold_link_metrics(m, p, tb);
-    if (done) m.observe(p + "plt_us", loader.result().plt.count() / 1000);
-    if (sink != nullptr) {
-      // Histograms first: run:metrics stays the artifact's last line.
-      m.record_histograms_to(*sink, tb.sim().now());
-      m.record_to(*sink, tb.sim().now());
-    }
+  if (observer != nullptr) {
+    detail::fold_tcp_run_metrics(*observer, done, loader.result().plt,
+                                 session, server, tb);
   }
   if (!done) return std::nullopt;
   return to_seconds(loader.result().plt);
@@ -249,20 +267,23 @@ CellResult finish_cell(std::vector<double> quic, std::vector<double> tcp,
 
 namespace {
 
-// Per-cell scratch shared between a cell's jobs. Round jobs write disjoint
-// slots; the warm job runs strictly before every round (job-graph edge), so
-// each round reads a settled post-warm token cache and copies it — rounds
-// never share mutable state, which is what makes the fold independent of
-// the worker count.
-struct CellScratch {
-  quic::TokenCache tokens_a;
-  quic::TokenCache tokens_b;
-  std::vector<std::optional<double>> a_plts;
-  std::vector<std::optional<double>> b_plts;
-  // Per-round metric totals, merged into CellResult::metrics in round order
-  // by the commit job (disjoint slots, same scheme as the PLT vectors).
-  std::vector<obs::MetricsRegistry> round_metrics;
-};
+// Cell ids are assigned at submission time. Submissions happen serially on
+// the calling thread regardless of LL_JOBS, so the id — and therefore every
+// artifact file name — is identical for any worker count.
+std::atomic<std::uint64_t> g_cell_counter{0};
+
+std::string sanitize_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
 
 // Folds per-round slots into the CellResult in round order.
 void commit_cell(const CellScratch& scratch, CellResult* out,
@@ -297,20 +318,6 @@ std::string trace_directory(const CompareOptions& opts) {
   return env != nullptr ? std::string(env) : std::string();
 }
 
-// Cell ids are assigned at submission time. Submissions happen serially on
-// the calling thread regardless of LL_JOBS, so the id — and therefore every
-// artifact file name — is identical for any worker count.
-std::atomic<std::uint64_t> g_cell_counter{0};
-
-std::string sanitize_label(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
-  }
-  return out;
-}
-
 std::string cell_label(const Scenario& scenario, const CompareOptions& opts) {
   const std::uint64_t id = g_cell_counter.fetch_add(1);
   const std::string& base =
@@ -318,7 +325,13 @@ std::string cell_label(const Scenario& scenario, const CompareOptions& opts) {
   return "c" + std::to_string(id) + "_" + sanitize_label(base);
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::cell_label;
+using detail::CellScratch;
+using detail::commit_cell;
+using detail::round_scenario;
+using detail::trace_directory;
 
 SweepRunner::Ticket compare_plt_async(SweepRunner& runner,
                                       const Scenario& scenario,

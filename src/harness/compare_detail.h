@@ -1,0 +1,76 @@
+// Cell-fold machinery shared between the page-load compare path
+// (compare.cc) and the scenario-DSL perf path (perf.cc). Internal to the
+// harness — benches and tests use the public entry points in compare.h /
+// perf.h.
+//
+// The determinism contract lives here: round jobs write disjoint scratch
+// slots, the warm job runs strictly before every round (job-graph edge),
+// and the commit job folds slots in round order — so a folded CellResult
+// and every artifact file name are byte-identical at any LL_JOBS.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/compare.h"
+#include "http/object_service.h"
+
+namespace longlook::harness::detail {
+
+// Per-cell scratch shared between a cell's jobs. Round jobs write disjoint
+// slots; each round reads a settled post-warm token cache and copies it —
+// rounds never share mutable state, which is what makes the fold
+// independent of the worker count.
+struct CellScratch {
+  quic::TokenCache tokens_a;
+  quic::TokenCache tokens_b;
+  std::vector<std::optional<double>> a_plts;
+  std::vector<std::optional<double>> b_plts;
+  // Per-round metric totals, merged into CellResult::metrics in round order
+  // by the commit job (disjoint slots, same scheme as the PLT vectors).
+  std::vector<obs::MetricsRegistry> round_metrics;
+};
+
+// Folds per-round slots into the CellResult in round order (means, Welch's
+// t-test, merged metrics) and ticks `progress` (may be nullptr).
+void commit_cell(const CellScratch& scratch, CellResult* out,
+                 ProgressReporter* progress);
+
+// Round r's scenario: same network, per-round derived seed.
+Scenario round_scenario(const Scenario& scenario, int r);
+
+// Trace artifacts land in opts.trace_dir, or $LL_TRACE_OUT when that is
+// empty; both empty == tracing disabled.
+std::string trace_directory(const CompareOptions& opts);
+
+// Unique, submission-ordered artifact label for one cell. Submissions
+// happen serially on the calling thread regardless of LL_JOBS, so the id —
+// and therefore every artifact file name — is identical for any worker
+// count.
+std::string cell_label(const Scenario& scenario, const CompareOptions& opts);
+
+// Trace epilogue: plt_ns on completion, timed_out otherwise.
+void emit_run_summary(obs::TraceSink* sink, bool done, Duration plt,
+                      TimePoint now);
+
+// Folds the testbed's link drop/reorder totals into `m` under prefix `p`.
+void fold_link_metrics(obs::MetricsRegistry& m, const std::string& p,
+                       Testbed& tb);
+
+// Folds the run's simulator/link work volume into the profiler shard. The
+// values themselves are deterministic (virtual-time bookkeeping); only the
+// wall-time histograms alongside them vary run to run.
+void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb);
+
+// Per-run transport metrics + trace epilogue, shared by the page-load and
+// scenario runners. `plt` is the run's headline duration (page PLT or
+// scenario completion time), observed as "<prefix>plt_us" on completion.
+void fold_quic_run_metrics(const RunObserver& observer, bool done,
+                           Duration plt, http::QuicClientSession& session,
+                           http::QuicObjectServer& server, Testbed& tb);
+void fold_tcp_run_metrics(const RunObserver& observer, bool done,
+                          Duration plt, http::H2ClientSession& session,
+                          http::TcpObjectServer& server, Testbed& tb);
+
+}  // namespace longlook::harness::detail

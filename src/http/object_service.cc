@@ -9,22 +9,65 @@
 namespace longlook::http {
 
 void ObjectService::serve(AppStream& stream, std::function<void()> flush) {
-  // Accumulate the request line, then respond.
-  auto request = std::make_shared<std::string>();
+  // Per-stream request state. `responded` makes the response exactly-once:
+  // without it, any delivery arriving after the request line was handled —
+  // an upload body chunk, or a bare fin — re-finds the '\n' in the
+  // accumulated buffer and responds a second time on the same stream.
+  struct Request {
+    std::string buf;
+    bool header_done = false;
+    bool responded = false;
+    bool is_perf = false;
+    std::size_t download = 0;
+    std::uint64_t upload = 0;
+    std::uint64_t body_received = 0;
+  };
+  auto req = std::make_shared<Request>();
   stream.set_on_data([this, &stream, flush = std::move(flush),
-                      request](BytesView data, bool fin) {
-    (void)fin;
-    request->append(reinterpret_cast<const char*>(data.data()), data.size());
-    const auto nl = request->find('\n');
-    if (nl == std::string::npos) return;
-    // "GET /obj<k> <size>\n"
-    const auto space = request->rfind(' ', nl);
-    std::size_t size = 0;
-    if (space != std::string::npos) {
-      std::from_chars(request->data() + space + 1, request->data() + nl, size);
+                      req](BytesView data, bool fin) {
+    if (req->responded) return;
+    if (!req->header_done) {
+      req->buf.append(reinterpret_cast<const char*>(data.data()), data.size());
+      const auto nl = req->buf.find('\n');
+      if (nl == std::string::npos) return;
+      req->header_done = true;
+      if (req->buf.rfind("PRF ", 0) == 0) {
+        // "PRF <download> <upload>\n" + <upload> body bytes, fin on the
+        // last — the quicperf request/response transaction. The response
+        // starts once the full request (header + body) has arrived.
+        req->is_perf = true;
+        const char* p = req->buf.data() + 4;
+        const char* end = req->buf.data() + nl;
+        const auto r1 = std::from_chars(p, end, req->download);
+        if (r1.ec == std::errc() && r1.ptr < end && *r1.ptr == ' ') {
+          std::from_chars(r1.ptr + 1, end, req->upload);
+        }
+        req->body_received = req->buf.size() - (nl + 1);
+        req->buf.clear();
+        req->buf.shrink_to_fit();
+      } else {
+        // "GET /obj<k> <size>\n" — responds at the header, as the page
+        // loader's clients never send a body.
+        const auto space = req->buf.rfind(' ', nl);
+        std::size_t size = 0;
+        if (space != std::string::npos) {
+          std::from_chars(req->buf.data() + space + 1, req->buf.data() + nl,
+                          size);
+        }
+        req->responded = true;
+        ++requests_served_;
+        respond(stream, size, flush);
+        return;
+      }
+    } else if (req->is_perf) {
+      req->body_received += data.size();
     }
-    ++requests_served_;
-    respond(stream, size, flush);
+    if (req->is_perf && (fin || req->body_received >= req->upload)) {
+      req->responded = true;
+      ++requests_served_;
+      upload_bytes_received_ += req->body_received;
+      respond(stream, req->download, flush);
+    }
   });
 }
 

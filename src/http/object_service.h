@@ -4,6 +4,11 @@
 // Request line: "GET /obj<k> <size>\n" — the client encodes the object size
 // so one service handles every workload in Table 2. The optional service
 // delay models Google App Engine's variable wait time (Fig. 2).
+//
+// It also speaks the quicperf transaction form used by the scenario DSL:
+// "PRF <download> <upload>\n" followed by <upload> body bytes (fin on the
+// last) — the response (<download> bytes) starts once the full request has
+// arrived, giving request/response ping-pong with bulk up/down.
 #pragma once
 
 #include <functional>
@@ -34,6 +39,10 @@ class ObjectService {
   void serve(AppStream& stream, std::function<void()> flush);
 
   std::uint64_t requests_served() const { return requests_served_; }
+  // Body bytes received on PRF (quicperf-style upload) requests.
+  std::uint64_t upload_bytes_received() const {
+    return upload_bytes_received_;
+  }
 
  private:
   void respond(AppStream& stream, std::size_t size,
@@ -44,6 +53,7 @@ class ObjectService {
   Duration delay_hi_ = kNoDuration;
   std::unique_ptr<Rng> delay_rng_;
   std::uint64_t requests_served_ = 0;
+  std::uint64_t upload_bytes_received_ = 0;
   // Liveness token for delayed responses: a scheduled respond must become
   // a no-op if the service is destroyed before the delay elapses.
   std::shared_ptr<char> live_token_ = std::make_shared<char>(0);

@@ -22,17 +22,17 @@ void PageLoader::issue_requests() {
   // Issue as many requests as the session's stream limit (MSPC /
   // MAX_CONCURRENT_STREAMS) allows; the rest queue behind completions.
   while (next_to_issue_ < config_.object_count && session_.can_open_stream()) {
-    request_object(next_to_issue_++);
+    // A session may advertise a free slot yet fail to open (transport not
+    // ready); break instead of retrying so the loop cannot spin.
+    if (!request_object(next_to_issue_)) break;
+    ++next_to_issue_;
   }
   session_.flush();
 }
 
-void PageLoader::request_object(std::size_t index) {
+bool PageLoader::request_object(std::size_t index) {
   AppStream* stream = session_.open_stream();
-  if (stream == nullptr) {
-    --next_to_issue_;  // retry when a slot frees up
-    return;
-  }
+  if (stream == nullptr) return false;  // retry when a slot frees up
   ObjectTiming& timing = result_.objects[index];
   timing.index = index;
   timing.issued = sim_.now();
@@ -55,6 +55,7 @@ void PageLoader::request_object(std::size_t index) {
                               request.data()),
                           request.size()),
                 /*fin=*/false);
+  return true;
 }
 
 void PageLoader::on_object_complete() {

@@ -47,7 +47,8 @@ class PageLoader {
 
  private:
   void issue_requests();
-  void request_object(std::size_t index);
+  // Returns false when the session could not open a stream for the request.
+  bool request_object(std::size_t index);
   void on_object_complete();
 
   Simulator& sim_;

@@ -63,8 +63,12 @@ void Histogram::merge(const Histogram& other) {
 
 std::int64_t Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
+  // The endpoints are the observed extremes, not bucket edges: p0 == min
+  // and p100 == max exactly. NaN compares false against everything, so the
+  // !(q > 0) form routes it to the p0 endpoint instead of feeding it into
+  // the rank cast below (undefined for NaN).
+  if (!(q > 0)) return min_;
+  if (q >= 1) return max_;
   // Rank of the requested sample, 1-based; ceil without float rounding
   // surprises: the smallest rank r with r >= q * count.
   std::uint64_t rank = static_cast<std::uint64_t>(
@@ -83,28 +87,29 @@ std::int64_t Histogram::quantile(double q) const {
 }
 
 std::string Histogram::to_json() const {
+  // Empty histograms render the same shape as populated ones (all-zero
+  // fields, empty bucket list) so consumers never special-case a missing
+  // key. Populated histograms render byte-identically to the pre-zero-
+  // record format.
   std::string out = "{\"count\":" + std::to_string(count_);
-  if (count_ > 0) {
-    out += ",\"sum\":" + std::to_string(sum_);
-    out += ",\"min\":" + std::to_string(min_);
-    out += ",\"max\":" + std::to_string(max_);
-    out += ",\"p50\":" + std::to_string(p50());
-    out += ",\"p90\":" + std::to_string(p90());
-    out += ",\"p99\":" + std::to_string(p99());
-    out += ",\"buckets\":[";
-    bool first = true;
-    for (const auto& [index, n] : buckets_) {
-      if (!first) out += ',';
-      first = false;
-      out += '[';
-      out += std::to_string(index);
-      out += ',';
-      out += std::to_string(n);
-      out += ']';
-    }
+  out += ",\"sum\":" + std::to_string(sum_);
+  out += ",\"min\":" + std::to_string(min_);
+  out += ",\"max\":" + std::to_string(max_);
+  out += ",\"p50\":" + std::to_string(p50());
+  out += ",\"p90\":" + std::to_string(p90());
+  out += ",\"p99\":" + std::to_string(p99());
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [index, n] : buckets_) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    out += std::to_string(index);
+    out += ',';
+    out += std::to_string(n);
     out += ']';
   }
-  out += '}';
+  out += "]}";
   return out;
 }
 

@@ -44,7 +44,9 @@ class Histogram {
   std::int64_t max() const { return max_; }  // 0 when empty
 
   // q in [0, 1]; returns the lower bound of the bucket holding the sample
-  // of rank ceil(q * count), clamped into [min, max]. 0 when empty.
+  // of rank ceil(q * count), clamped into [min, max]. The endpoints are
+  // exact: quantile(0) == min, quantile(1) == max. Out-of-range q clamps to
+  // the endpoints; NaN maps to the p0 endpoint. 0 when empty.
   std::int64_t quantile(double q) const;
   std::int64_t p50() const { return quantile(0.50); }
   std::int64_t p90() const { return quantile(0.90); }
@@ -52,7 +54,8 @@ class Histogram {
 
   // {"count":2,"sum":7,"min":3,"max":4,"p50":3,"p90":4,"p99":4,
   //  "buckets":[[3,1],[4,1]]} — buckets are [index, count] pairs in index
-  // order; every value is an integer. Empty histograms render {"count":0}.
+  // order; every value is an integer. Empty histograms render the same
+  // shape with all-zero fields and an empty bucket list.
   std::string to_json() const;
 
   // Sparse [bucket index -> sample count] map, index order.

@@ -1,0 +1,159 @@
+// Bench CLI parsing tests (bench/bench_common.h): strict option handling —
+// unknown flags, missing values, and malformed or overflowing integers are
+// hard errors naming the offending token, instead of the old atoi behavior
+// that silently truncated "5x" to 5 and "" to 0.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace longlook::bench {
+namespace {
+
+// parse_args_core reads LL_* env fallbacks; isolate every test from the
+// ambient environment (and restore it afterwards so tests compose).
+class BenchCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* k : kVars) {
+      const char* v = std::getenv(k);
+      saved_.emplace_back(k, v ? std::optional<std::string>(v) : std::nullopt);
+      unsetenv(k);
+    }
+  }
+  void TearDown() override {
+    for (const auto& [k, v] : saved_) {
+      if (v) {
+        setenv(k, v->c_str(), 1);
+      } else {
+        unsetenv(k);
+      }
+    }
+  }
+
+ private:
+  static constexpr const char* kVars[] = {"LL_TRACE_OUT", "LL_BENCH_JSON",
+                                          "LL_BENCH_ROUNDS"};
+  std::vector<std::pair<const char*, std::optional<std::string>>> saved_;
+};
+
+ParsedArgs parse(std::vector<const char*> argv,
+                 bool accept_scenarios = false) {
+  argv.insert(argv.begin(), "bench_test");
+  return parse_args_core(static_cast<int>(argv.size()), argv.data(),
+                         accept_scenarios);
+}
+
+TEST_F(BenchCliTest, ParsesSeparateAndEqualsForms) {
+  const ParsedArgs a = parse({"--trace-out", "/tmp/t", "--json-out=/tmp/j",
+                              "--rounds", "7"});
+  ASSERT_TRUE(a.ok()) << a.error;
+  EXPECT_EQ(a.opts.trace_dir, "/tmp/t");
+  EXPECT_EQ(a.opts.json_out, "/tmp/j");
+  EXPECT_EQ(a.rounds, 7);
+  const ParsedArgs b = parse({"--rounds=3"});
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(b.rounds, 3);
+}
+
+TEST_F(BenchCliTest, UnknownOptionNamesTheToken) {
+  const ParsedArgs p = parse({"--frobnicate"});
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("'--frobnicate'"), std::string::npos) << p.error;
+}
+
+TEST_F(BenchCliTest, MissingValueIsAnError) {
+  const ParsedArgs p = parse({"--json-out"});
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("'--json-out' requires a value"), std::string::npos)
+      << p.error;
+}
+
+TEST_F(BenchCliTest, RegressionMalformedRoundsIsRejected) {
+  // Regression (fails pre-fix): atoi("5x") == 5, so a typo ran the wrong
+  // experiment silently. The strict parse names the token instead.
+  const ParsedArgs p = parse({"--rounds", "5x"});
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("'5x'"), std::string::npos) << p.error;
+}
+
+TEST_F(BenchCliTest, RejectsNonPositiveAndOverflowingRounds) {
+  EXPECT_FALSE(parse({"--rounds", "0"}).ok());
+  EXPECT_FALSE(parse({"--rounds", "-3"}).ok());
+  EXPECT_FALSE(parse({"--rounds", ""}).ok());
+  // Overflows int: from_chars reports out_of_range; atoi was UB.
+  const ParsedArgs p = parse({"--rounds", "99999999999999999999"});
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("99999999999999999999"), std::string::npos)
+      << p.error;
+}
+
+TEST_F(BenchCliTest, RegressionMalformedEnvRoundsIsRejected) {
+  // Regression (fails pre-fix): LL_BENCH_ROUNDS=abc atoi'd to 0 and fell
+  // through to... whatever rounds() did with 0. Now it is a named error.
+  setenv("LL_BENCH_ROUNDS", "abc", 1);
+  const ParsedArgs p = parse({});
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("LL_BENCH_ROUNDS='abc'"), std::string::npos)
+      << p.error;
+}
+
+TEST_F(BenchCliTest, ValidEnvRoundsIsAccepted) {
+  setenv("LL_BENCH_ROUNDS", "4", 1);
+  EXPECT_TRUE(parse({}).ok());
+}
+
+TEST_F(BenchCliTest, EnvFallbacksApply) {
+  setenv("LL_TRACE_OUT", "/tmp/envtrace", 1);
+  setenv("LL_BENCH_JSON", "/tmp/envjson", 1);
+  const ParsedArgs p = parse({});
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.opts.trace_dir, "/tmp/envtrace");
+  EXPECT_EQ(p.opts.json_out, "/tmp/envjson");
+  // Explicit flags win over the env.
+  const ParsedArgs q = parse({"--trace-out", "/tmp/flag"});
+  EXPECT_EQ(q.opts.trace_dir, "/tmp/flag");
+}
+
+TEST_F(BenchCliTest, ScenarioFlagIsGated) {
+  // Figure benches reject --scenario; bench_perf opts in.
+  const ParsedArgs off = parse({"--scenario", "*1:0:-:1:1;"});
+  ASSERT_FALSE(off.ok());
+  EXPECT_NE(off.error.find("'--scenario'"), std::string::npos) << off.error;
+
+  const ParsedArgs on = parse({"--scenario", "*1:0:-:1:1;",
+                               "--scenario=*2:4:-:0:5;"},
+                              /*accept_scenarios=*/true);
+  ASSERT_TRUE(on.ok()) << on.error;
+  ASSERT_EQ(on.opts.scenarios.size(), 2u);
+  EXPECT_EQ(on.opts.scenarios[0], "*1:0:-:1:1;");
+  EXPECT_EQ(on.opts.scenarios[1], "*2:4:-:0:5;");
+}
+
+TEST_F(BenchCliTest, ParseArgsExitsWithCodeTwoNamingTheToken) {
+  // The user-facing wrapper: hard exit 2, diagnostic to stderr.
+  const char* argv[] = {"bench_test", "--frobnicate"};
+  EXPECT_EXIT(parse_args(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--frobnicate");
+}
+
+TEST_F(BenchCliTest, StrictPositiveIntParse) {
+  int v = 0;
+  EXPECT_TRUE(parse_positive_int("12", &v));
+  EXPECT_EQ(v, 12);
+  EXPECT_FALSE(parse_positive_int("", &v));
+  EXPECT_FALSE(parse_positive_int("12x", &v));
+  EXPECT_FALSE(parse_positive_int("x12", &v));
+  EXPECT_FALSE(parse_positive_int("0", &v));
+  EXPECT_FALSE(parse_positive_int("-1", &v));
+  EXPECT_FALSE(parse_positive_int(" 5", &v));
+  EXPECT_FALSE(parse_positive_int("99999999999999999999", &v));
+}
+
+}  // namespace
+}  // namespace longlook::bench

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,7 +28,53 @@ TEST(Histogram, EmptyState) {
   EXPECT_EQ(h.sum(), 0);
   EXPECT_EQ(h.p50(), 0);
   EXPECT_EQ(h.p99(), 0);
-  EXPECT_EQ(h.to_json(), "{\"count\":0}");
+  // An empty histogram serializes the same shape as a populated one — a
+  // complete zero record, not a bare count consumers must special-case.
+  EXPECT_EQ(h.to_json(),
+            "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,"
+            "\"p90\":0,\"p99\":0,\"buckets\":[]}");
+}
+
+TEST(Histogram, QuantileEndpointsAreExact) {
+  // Regression (pre-fix: quantile(1.0) returned the bucket lower bound —
+  // 96 for a sample of 99): p0 and p100 must be the observed extremes
+  // exactly, even when the extreme sits mid-bucket in the log-linear range.
+  Histogram h;
+  h.observe(33);
+  h.observe(99);
+  EXPECT_EQ(h.quantile(0.0), 33);
+  EXPECT_EQ(h.quantile(1.0), 99);
+  // Out-of-range q clamps to the endpoints rather than reading a garbage
+  // bucket.
+  EXPECT_EQ(h.quantile(-2.5), 33);
+  EXPECT_EQ(h.quantile(7.0), 99);
+}
+
+TEST(Histogram, QuantileNanIsDefined) {
+  Histogram h;
+  h.observe(10);
+  h.observe(20);
+  // NaN must not flow into the rank computation (casting NaN to an integer
+  // is undefined); it maps to the p0 endpoint.
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 10);
+}
+
+TEST(Histogram, QuantileEndpointsOnEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 0);
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(Histogram, InteriorQuantilesKeepBucketSemantics) {
+  // The endpoint fix must not disturb interior quantiles: p99 of a small
+  // population still reports the top sample's bucket lower bound clamped
+  // into [min, max] (this is what keeps committed bench baselines stable).
+  Histogram h;
+  h.observe(33);
+  h.observe(99);
+  EXPECT_EQ(h.p99(), 96);  // bucket lower bound of 99's bucket
+  EXPECT_EQ(h.p50(), 33);
 }
 
 TEST(Histogram, SmallValuesAreExact) {
