@@ -17,21 +17,31 @@ int default_job_count() {
 }
 
 void ProgressReporter::tick() {
-  util::MutexLock lock(mu_);
-  ++ticks_;
-  if (out_ != nullptr) {
-    std::fputc('.', out_);
-    std::fflush(out_);
+  // Snapshot under the lock, write outside it: a stalled stream (full
+  // pipe on stderr) must not wedge every worker that ticks progress.
+  std::FILE* out = nullptr;
+  {
+    util::MutexLock lock(mu_);
+    ++ticks_;
+    out = out_;
+  }
+  if (out != nullptr) {
+    std::fputc('.', out);
+    std::fflush(out);
   }
 }
 
 void ProgressReporter::finish() {
-  util::MutexLock lock(mu_);
-  if (finished_) return;
-  finished_ = true;
-  if (out_ != nullptr) {
-    std::fputc('\n', out_);
-    std::fflush(out_);
+  std::FILE* out = nullptr;
+  {
+    util::MutexLock lock(mu_);
+    if (finished_) return;
+    finished_ = true;
+    out = out_;
+  }
+  if (out != nullptr) {
+    std::fputc('\n', out);
+    std::fflush(out);
   }
 }
 

@@ -55,8 +55,9 @@ class ProgressReporter {
 
  private:
   mutable util::Mutex mu_;
-  // The stream is guarded too: ticks must not interleave mid-byte with the
-  // final newline, and fputc/fflush pairs stay atomic per mark.
+  // Only the pointer is guarded; the actual writes happen outside the
+  // lock (stdio serializes per-stream internally), so a stalled stream
+  // cannot wedge other workers on mu_.
   std::FILE* out_ LL_GUARDED_BY(mu_) = nullptr;
   std::size_t ticks_ LL_GUARDED_BY(mu_) = 0;
   bool finished_ LL_GUARDED_BY(mu_) = false;

@@ -95,12 +95,12 @@ void mutate(Bytes& buf, XorShift& rng) {
 }
 
 // Deterministic seed corpus: a spread of valid wire packets covering every
-// frame type, multi-frame packets, and the empty/ping edge. Committed
-// under tests/fuzz/corpus/ and regenerated with --write-seeds (which only
-// writes seed_00..seed_05; the higher-numbered committed seeds are real
-// datagrams captured off a pooled-buffer page-load run — CHLO, REJ, a
-// full-size zero-body stream packet, and a bare ack — and are never
-// regenerated here).
+// frame type, multi-frame packets, varint boundaries, and the empty/ping
+// edge. Committed under tests/fuzz/corpus/ and regenerated with
+// --write-seeds (which writes generated seeds at 00-05 and 10+; the
+// 06-09 block holds real datagrams captured off a pooled-buffer page-load
+// run — CHLO, REJ, a full-size zero-body stream packet, and a bare ack —
+// and is never regenerated here).
 std::vector<Bytes> make_seed_corpus() {
   using namespace longlook;
   using namespace longlook::quic;
@@ -175,6 +175,57 @@ std::vector<Bytes> make_seed_corpus() {
     p.packet_number = 7;
     seeds.push_back(encode_packet(p));
   }
+  {
+    QuicPacket p;  // stream teardown: FIN at a large offset + final window
+    p.connection_id = 10;
+    p.packet_number = 0x4000;  // first 4-byte varint value
+    StreamFrame f;
+    f.stream_id = 3;
+    f.offset = (1ULL << 32) + 5;
+    f.fin = true;
+    f.data = {};
+    p.frames.emplace_back(std::move(f));
+    WindowUpdateFrame w;
+    w.stream_id = 3;
+    w.max_offset = (1ULL << 32) + 5;
+    p.frames.emplace_back(w);
+    seeds.push_back(encode_packet(p));
+  }
+  {
+    QuicPacket p;  // heavily-reordered ack: many disjoint ranges
+    p.connection_id = 11;
+    p.packet_number = 0x3FFFFFFF;  // 4-byte varint boundary
+    AckFrame a;
+    a.largest_acked = 5000;
+    a.ack_delay = microseconds(1);
+    a.largest_received_at = TimePoint{} + milliseconds(40);
+    for (std::uint64_t hi = 5000; hi >= 4300; hi -= 100) {
+      a.ranges.push_back({hi - 40, hi});
+    }
+    p.frames.emplace_back(std::move(a));
+    p.frames.emplace_back(PingFrame{});
+    seeds.push_back(encode_packet(p));
+  }
+  {
+    QuicPacket p;  // many tiny frames: per-frame overhead dominates
+    p.connection_id = 12;
+    p.packet_number = 8;
+    for (std::uint64_t sid = 1; sid <= 5; ++sid) {
+      BlockedFrame b;
+      b.stream_id = sid;
+      p.frames.emplace_back(b);
+    }
+    StopWaitingFrame sw;
+    sw.least_unacked = 1;
+    p.frames.emplace_back(sw);
+    StreamFrame f;
+    f.stream_id = 9;
+    f.offset = 0;
+    f.fin = true;
+    f.data = {'x'};
+    p.frames.emplace_back(std::move(f));
+    seeds.push_back(encode_packet(p));
+  }
   return seeds;
 }
 
@@ -182,8 +233,12 @@ int write_seeds(const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
   const auto seeds = make_seed_corpus();
   for (std::size_t i = 0; i < seeds.size(); ++i) {
+    // Indices 06-09 are reserved for the captured datagrams described
+    // above; generated seeds skip over them so a regeneration never
+    // clobbers a capture.
+    const std::size_t slot = i < 6 ? i : i + 4;
     char name[32] = {};
-    std::snprintf(name, sizeof name, "seed_%02zu.bin", i);
+    std::snprintf(name, sizeof name, "seed_%02zu.bin", slot);
     std::ofstream out(dir / name, std::ios::binary);
     out.write(reinterpret_cast<const char*>(seeds[i].data()),
               static_cast<std::streamsize>(seeds[i].size()));

@@ -121,6 +121,11 @@ def main_selftest() -> int:
                 failures.append(
                     f"stale allowlist: error message missing "
                     f"'stale allowlist': {e}")
+            # The error must say where the entry's fragment last matched —
+            # here the path fragment names a file that was never scanned.
+            if "path fragment matches no scanned file" not in str(e):
+                failures.append(
+                    f"stale allowlist: error lacks last-matched detail: {e}")
         code, _, _ = run_main(
             ["--allowlist", str(stale), str(FIXTURES / "bad")])
         if code != 2:
@@ -163,6 +168,43 @@ def main_selftest() -> int:
                 if key not in f:
                     failures.append(f"json report: finding missing '{key}'")
                     break
+        # Per-rule elapsed time: every rule that fired must have a timing
+        # entry (rules are timed whenever they run, so the firing set is a
+        # lower bound on the timed set).
+        elapsed = data.get("rule_elapsed_seconds")
+        if not isinstance(elapsed, dict):
+            failures.append("json report: missing rule_elapsed_seconds")
+        else:
+            missing = sorted(set(EXPECTED_BAD) - set(elapsed))
+            if missing:
+                failures.append(
+                    f"json report: rule_elapsed_seconds missing rules that "
+                    f"fired: {missing}")
+            bad_vals = {k: v for k, v in elapsed.items()
+                        if not isinstance(v, (int, float)) or v < 0}
+            if bad_vals:
+                failures.append(
+                    f"json report: non-numeric/negative elapsed: {bad_vals}")
+
+    # --- per-rule suppression counts in the JSON report ---------------------
+    # The clean fixtures carry 6 inline suppressions; the per-rule breakdown
+    # must be present and sum to the scalar `suppressed` count.
+    with tempfile.TemporaryDirectory() as td:
+        report = Path(td) / "clean_report.json"
+        code, _, _ = run_main(["--json", str(report), str(FIXTURES / "clean")])
+        data = json.loads(report.read_text())
+        by_rule = data.get("suppressed_by_rule")
+        if not isinstance(by_rule, dict):
+            failures.append("json report: missing suppressed_by_rule")
+        elif sum(by_rule.values()) != data.get("suppressed"):
+            failures.append(
+                f"json report: suppressed_by_rule sums to "
+                f"{sum(by_rule.values())}, scalar suppressed is "
+                f"{data.get('suppressed')}")
+        elif data.get("suppressed") != 6:
+            failures.append(
+                f"json report: clean fixtures expected 6 suppressed, got "
+                f"{data.get('suppressed')}")
 
     if failures:
         print("analysis_selftest: FAIL", file=sys.stderr)

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analysis/ipa (ctest `analysis-ipa-selftest`).
+
+Pins the interprocedural layer's behavior so a rule regression fails
+ctest instead of failing open:
+
+  * exact per-rule finding counts on tools/analysis/ipa/fixtures/bad/ —
+    each rule's fixture covers both its intra-function form and the
+    call-graph form (a releasing helper, a blocking callee, a lock
+    re-acquired through a call, a callback registered one call away);
+  * the clean fixtures stay spotless, with the per-rule suppression
+    accounting pinned exactly;
+  * the historical-bug reconstructions fire — the PR 1 deferred-callback
+    use-after-free in the interprocedural form the per-function AST rule
+    cannot see, and the harness progress-reporter I/O-under-lock — and
+    the post-fix versions are clean;
+  * a reason-less suppression is a hard error (exit 2);
+  * the --json report is valid, agrees with the text output, and carries
+    the call-graph stats;
+  * `--cache` replays an identical report on unchanged inputs and
+    invalidates on any content change;
+  * `--frontend clang` produces byte-identical findings to the internal
+    frontend when libclang is present, and degrades to a loud skip
+    (exit 0) when it is not.
+
+All counts are pinned against `--frontend internal` so the numbers are
+reproducible on machines without libclang.
+
+Usage: test_ipa_selftest.py   (exit 0 pass, 1 fail)
+"""
+
+import io
+import json
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from analysis import AnalysisError  # noqa: E402
+from analysis.ipa import analyze_paths_ipa, main  # noqa: E402
+from analysis.ast.clang_frontend import clang_available  # noqa: E402
+
+FIXTURES = REPO / "tools" / "analysis" / "ipa" / "fixtures"
+
+# rule -> EXACT number of findings the bad fixtures must produce. Pinned
+# exactly: any drift means a rule loosened or tightened and the fixture
+# plus this table must move together.
+EXPECTED_BAD = {
+    "pool-use-after-release": 3,
+    "lock-order-cycle": 2,
+    "blocking-under-lock": 3,
+    "callback-outlives-capture": 3,
+}
+
+# clean/src/suppressed.cc silences one real finding per listed rule; the
+# per-rule accounting in the report must agree.
+EXPECTED_CLEAN_SUPPRESSED = {
+    "blocking-under-lock": 1,
+    "pool-use-after-release": 1,
+}
+
+# Historical-bug reconstructions: (file fragment, rule, count) — each
+# must fire exactly `count` times on regression/bug/ and not at all on
+# regression/fixed/.
+EXPECTED_REGRESSIONS = [
+    ("pr1_indirect_deferred_uaf.cc", "callback-outlives-capture", 1),
+    ("progress_io_under_lock.cc", "blocking-under-lock", 2),
+]
+
+
+def run_main(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(["run_ipa_analysis.py"] + argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def main_selftest() -> int:
+    failures = []
+
+    # --- bad fixtures: exact per-rule counts --------------------------------
+    result = analyze_paths_ipa([str(FIXTURES / "bad")], frontend="internal")
+    counts = {}
+    for f in result.findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    for rule, expected in EXPECTED_BAD.items():
+        got = counts.get(rule, 0)
+        if got != expected:
+            failures.append(
+                f"bad fixtures: rule '{rule}' fired {got} time(s), "
+                f"expected exactly {expected}")
+    total = sum(EXPECTED_BAD.values())
+    if len(result.findings) != total:
+        failures.append(
+            f"bad fixtures: {len(result.findings)} total findings, expected "
+            f"exactly {total}; extra rules fired: "
+            f"{sorted(set(counts) - set(EXPECTED_BAD))}")
+    code, _, _ = run_main(["--frontend", "internal", str(FIXTURES / "bad")])
+    if code != 1:
+        failures.append(f"bad fixtures: expected exit 1, got {code}")
+
+    # --- clean fixtures: spotless, per-rule suppression accounting ----------
+    result = analyze_paths_ipa([str(FIXTURES / "clean")], frontend="internal")
+    if result.findings:
+        failures.append(
+            "clean fixtures: expected no findings, got:\n  " +
+            "\n  ".join(f.render() for f in result.findings))
+    if result.suppressed_by_rule != EXPECTED_CLEAN_SUPPRESSED:
+        failures.append(
+            f"clean fixtures: per-rule suppression accounting "
+            f"{result.suppressed_by_rule} != {EXPECTED_CLEAN_SUPPRESSED}")
+    if result.suppressed != sum(EXPECTED_CLEAN_SUPPRESSED.values()):
+        failures.append(
+            f"clean fixtures: suppressed total {result.suppressed} "
+            f"disagrees with the per-rule table")
+    missing_elapsed = set(EXPECTED_BAD) - set(result.rule_elapsed)
+    if missing_elapsed:
+        failures.append(
+            f"clean fixtures: rule_elapsed missing rules {missing_elapsed}")
+
+    # --- historical-bug reconstructions -------------------------------------
+    result = analyze_paths_ipa(
+        [str(FIXTURES / "regression" / "bug")], frontend="internal")
+    expected_total = sum(n for _, _, n in EXPECTED_REGRESSIONS)
+    if len(result.findings) != expected_total:
+        failures.append(
+            f"regression/bug: {len(result.findings)} findings, expected "
+            f"exactly {expected_total}:\n  " +
+            "\n  ".join(f.render() for f in result.findings))
+    for fragment, rule, count in EXPECTED_REGRESSIONS:
+        hits = [f for f in result.findings
+                if fragment in f.path and f.rule == rule]
+        if len(hits) != count:
+            failures.append(
+                f"regression/bug: expected rule '{rule}' to fire exactly "
+                f"{count} time(s) on {fragment}, got {len(hits)}")
+    result = analyze_paths_ipa(
+        [str(FIXTURES / "regression" / "fixed")], frontend="internal")
+    if result.findings or result.suppressed:
+        failures.append(
+            f"regression/fixed: expected 0 findings / 0 suppressed after "
+            f"the historical fixes, got {len(result.findings)} finding(s), "
+            f"{result.suppressed} suppressed")
+
+    # --- suppression misuse is a hard error ---------------------------------
+    path = FIXTURES / "error" / "missing_reason.cc"
+    try:
+        analyze_paths_ipa([str(path)], frontend="internal")
+        failures.append("missing_reason.cc: expected AnalysisError, got none")
+    except AnalysisError as e:
+        if "carries no reason" not in str(e):
+            failures.append(
+                f"missing_reason.cc: error message missing "
+                f"'carries no reason': {e}")
+    code, _, _ = run_main(["--frontend", "internal", str(path)])
+    if code != 2:
+        failures.append(
+            f"missing_reason.cc: expected exit 2 via CLI, got {code}")
+
+    # --- JSON report agrees with the text output ----------------------------
+    with tempfile.TemporaryDirectory() as td:
+        report = Path(td) / "report.json"
+        code, out, _ = run_main(
+            ["--frontend", "internal", "--json", str(report),
+             str(FIXTURES / "bad")])
+        data = json.loads(report.read_text())
+        if data.get("version") != 1:
+            failures.append(f"json report: bad version: {data.get('version')}")
+        if data.get("layer") != "ipa":
+            failures.append(f"json report: bad layer: {data.get('layer')}")
+        if data.get("frontend") != "internal":
+            failures.append(
+                f"json report: bad frontend: {data.get('frontend')}")
+        if len(data.get("findings", [])) != total:
+            failures.append(
+                f"json report: {len(data.get('findings', []))} findings, "
+                f"expected {total}")
+        cg = data.get("callgraph", {})
+        if not cg.get("functions") or cg.get("call_edges") is None:
+            failures.append(f"json report: missing call-graph stats: {cg}")
+        elapsed = data.get("rule_elapsed_seconds", {})
+        bad_elapsed = {r: v for r, v in elapsed.items()
+                       if not isinstance(v, (int, float)) or v < 0}
+        if set(EXPECTED_BAD) - set(elapsed) or bad_elapsed:
+            failures.append(
+                f"json report: rule_elapsed_seconds incomplete or "
+                f"negative: {elapsed}")
+        text_lines = [ln for ln in out.splitlines()
+                      if ln.strip() and not ln.startswith("ipa-analysis[")]
+        if len(text_lines) != total:
+            failures.append(
+                f"text output: {len(text_lines)} finding lines, "
+                f"expected {total}")
+        for f in data.get("findings", []):
+            for key in ("path", "line", "rule", "message", "snippet"):
+                if key not in f:
+                    failures.append(f"json report: finding missing '{key}'")
+                    break
+
+        # --- cache: replay on unchanged inputs, invalidate on change --------
+        cache = Path(td) / "summary.cache.json"
+        r1 = Path(td) / "r1.json"
+        r2 = Path(td) / "r2.json"
+        run_main(["--frontend", "internal", "--cache", str(cache),
+                  "--json", str(r1), str(FIXTURES / "bad")])
+        if not cache.is_file():
+            failures.append("cache: file not written on cold run")
+        _, _, err2 = run_main(
+            ["--frontend", "internal", "--cache", str(cache),
+             "--json", str(r2), str(FIXTURES / "bad")])
+        if "cache hit" not in err2:
+            failures.append("cache: warm run did not report a cache hit")
+        d1 = json.loads(r1.read_text())
+        d2 = json.loads(r2.read_text())
+        if d1["findings"] != d2["findings"] or \
+                d1["suppressed_by_rule"] != d2["suppressed_by_rule"]:
+            failures.append("cache: replayed report disagrees with cold run")
+        if not json.loads(r2.read_text())["callgraph"]["cache_hit"]:
+            failures.append("cache: warm report does not mark cache_hit")
+        # Any content change must invalidate.
+        stale = json.loads(cache.read_text())
+        stale["key"] = "0" * 64
+        cache.write_text(json.dumps(stale))
+        _, _, err3 = run_main(
+            ["--frontend", "internal", "--cache", str(cache),
+             "--json", str(r2), str(FIXTURES / "bad")])
+        if "cache hit" in err3:
+            failures.append("cache: stale key still replayed")
+
+    # --- frontend parity: clang findings byte-identical to internal ---------
+    ok, detail = clang_available()
+    if ok:
+        with tempfile.TemporaryDirectory() as td:
+            ri = Path(td) / "internal.json"
+            rc = Path(td) / "clang.json"
+            for fe, rp in (("internal", ri), ("clang", rc)):
+                code, _, err = run_main(
+                    ["--frontend", fe, "--json", str(rp),
+                     str(FIXTURES / "bad")])
+                if code != 1:
+                    failures.append(
+                        f"parity: --frontend {fe} on bad fixtures exited "
+                        f"{code}, expected 1\n{err}")
+            if ri.is_file() and rc.is_file():
+                di = json.loads(ri.read_text())
+                dc = json.loads(rc.read_text())
+                if di["findings"] != dc["findings"]:
+                    failures.append(
+                        "parity: clang findings differ from internal:\n"
+                        f"  internal: {di['findings']}\n"
+                        f"  clang:    {dc['findings']}")
+    else:
+        code, out, err = run_main(
+            ["--frontend", "clang", str(FIXTURES / "clean")])
+        if code != 0:
+            failures.append(
+                f"--frontend clang without libclang: expected skip exit 0, "
+                f"got {code}")
+        if "SKIP" not in out + err:
+            failures.append(
+                "--frontend clang without libclang: expected a loud SKIP "
+                "line in the output")
+        print(f"ipa_selftest: NOTE frontend parity not exercised "
+              f"({detail}); the CI ast-analysis leg runs it with libclang",
+              file=sys.stderr)
+
+    if failures:
+        print("ipa_selftest: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"ipa_selftest: OK ({total} pinned findings on bad fixtures, "
+          f"{len(EXPECTED_REGRESSIONS)} historical-bug reconstructions "
+          "firing, clean fixtures spotless, per-rule suppression "
+          "accounting pinned, cache replay verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_selftest())

@@ -7,8 +7,10 @@ Pins the trace-analysis CLI:
   * `validate` accepts a schema-conformant v1 and v2 artifact;
   * `validate` reports (never crashes on) malformed, truncated, float-
     bearing, out-of-order, and non-object lines, with file:line errors;
-  * `detect` flags a seeded spurious-loss storm / handshake stall /
-    cwnd collapse and stays silent on a clean trace;
+  * `detect` flags a seeded spurious-loss storm / retransmit storm /
+    handshake stall / cwnd collapse, distinguishes a genuine rtx storm
+    from one explained by spurious-loss recovery, and stays silent on a
+    clean trace;
   * `diff` reports per-event-class deltas and exits 0 on identical dirs;
   * bench_report `det` output is canonical (byte-equal for equal
     deterministic sections) and `check` gates on it;
@@ -104,6 +106,30 @@ def storm_trace_lines():
     return lines
 
 
+def rtx_storm_trace_lines(spurious=1):
+    """A clean skeleton plus a one-second retransmission burst: six lost
+    QUIC packets and two rtx-flagged TCP segments, with `spurious`
+    spurious-loss recoveries riding along. At the default thresholds
+    (count 8, window 1s, ratio 0.5) the burst is a retransmit storm when
+    spurious < 4 and explained-by-reordering otherwise."""
+    lines = clean_trace_lines()[:-1]  # keep run:metrics for the end
+    t = 100000000
+    for pn in range(6):
+        lines.append({"t": t, "ev": "quic:packet_lost", "side": "server",
+                      "pn": pn + 20, "bytes": 1392})
+        t += 50000000
+    for off in (0, 1448):
+        lines.append({"t": t, "ev": "tcp:segment_sent", "side": "server",
+                      "off": off, "len": 1448, "rtx": True})
+        t += 50000000
+    for pn in range(spurious):
+        lines.append({"t": t, "ev": "quic:spurious_loss", "side": "server",
+                      "pn": pn + 40, "bytes": 1392})
+        t += 50000000
+    lines.append({"t": t, "ev": "run:metrics", "quic.runs": 1})
+    return lines
+
+
 def test_validate_ok(td):
     for version in (1, 2):
         p = os.path.join(td, f"v{version}.jsonl")
@@ -176,6 +202,28 @@ def test_detect(td):
     check(code == 1, f"detect storm: expected 1, got {code}")
     check("spurious-loss-storm" in out,
           f"detect storm: expected a spurious-loss-storm finding, got: {out}")
+
+    # Retransmit storm: a sustained rtx burst with almost no spurious
+    # recoveries is genuine loss and must fire...
+    rtx = os.path.join(td, "detect_rtx_storm.jsonl")
+    write_trace(rtx, rtx_storm_trace_lines(spurious=1))
+    code, out, _ = run(tracectl, ["detect", rtx])
+    check(code == 1 and "retransmit-storm" in out,
+          f"detect rtx storm: expected retransmit-storm, got rc={code}: {out}")
+
+    # ...while the same burst with matching spurious-loss recoveries is
+    # reordering (the spurious rule's territory) and must stay silent.
+    rtx_spur = os.path.join(td, "detect_rtx_spurious.jsonl")
+    write_trace(rtx_spur, rtx_storm_trace_lines(spurious=4))
+    code, out, _ = run(tracectl, ["detect", rtx_spur])
+    check(code == 0 and "retransmit-storm" not in out,
+          f"detect rtx+spurious: expected silence, got rc={code}: {out}")
+
+    # The ratio knob flips the verdict on the spurious-heavy trace.
+    code, out, _ = run(tracectl, ["detect", "--rtx-spurious-ratio", "1.5",
+                                  rtx_spur])
+    check(code == 1 and "retransmit-storm" in out,
+          f"detect rtx ratio knob: expected a finding, got rc={code}: {out}")
 
     # Handshake stall: established far too late.
     stall_lines = clean_trace_lines()

@@ -1,17 +1,31 @@
 """Optional libclang frontend.
 
 When `clang.cindex` + a loadable libclang are present, this frontend
-augments the internal parser's symbol tables with clang's full-fidelity
-view: canonical field/parameter types, `guarded_by` attributes recovered
-from the expanded `LL_GUARDED_BY` macro, and cross-file class layouts via
-`compile_commands.json` include paths. Statement trees always come from
-the internal parser — clang only upgrades the *type facts* the rules
-consult, so both frontends walk identical CFG-lite structure and fixture
-counts stay frontend-independent.
+upgrades both halves of the internal parser's translation unit:
+
+  * **symbol tables** — canonical field/parameter types, `guarded_by`
+    attributes recovered from the expanded `LL_GUARDED_BY` macro, and
+    cross-file class layouts via `compile_commands.json` include paths;
+  * **statement trees** — function bodies are rebuilt from clang's
+    statement cursors (if/while/for/range-for/switch/do/try/return/decl
+    and expression statements), so control structure comes from a real
+    compiler instead of the internal parser's heuristics.
+
+The rebuilt trees target *finding identity* with the internal frontend
+(pinned by the differential selftest): statement heads are re-lexed with
+tools/analysis/lexer.py token spellings, expression/decl heads keep their
+terminating ';', switch case labels are flattened exactly like the
+internal parser, and a statement spelled as a macro invocation (clang
+sees the expansion, the internal parser sees the call) degrades to the
+same opaque 'expr' node the internal parser produces. The function *set*
+is pinned to the internal parser's — clang rebuilds the bodies of
+functions both frontends agree on, so a cursor the internal parser cannot
+see never creates a frontend-only finding.
 
 Everything here is defensive: any clang failure (missing library, parse
-error, ABI mismatch) degrades to the internal TU with a one-line warning.
-The analyzer never hard-fails because libclang is absent — that mirrors
+error, ABI mismatch, an unconvertible body) degrades to the internal TU
+or the internal body with a one-line warning. The analyzer never
+hard-fails because libclang is absent — that mirrors
 tools/run_clang_tidy.sh, which exits 0 with a loud skip.
 """
 
@@ -21,7 +35,11 @@ import json
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from .astmodel import ClassInfo, FieldInfo, Param, TranslationUnit
+from ..lexer import Token
+from ..rules import _is, _matching
+from .astmodel import (
+    Block, ClassInfo, FieldInfo, FunctionInfo, Param, Stmt, TranslationUnit,
+)
 from . import parser as internal_parser
 
 _probe_result: Optional[Tuple[bool, str]] = None
@@ -125,9 +143,315 @@ def _augment_symbols(tu: TranslationUnit, cursor, rel: str) -> None:
     tu.symbols.source = "clang"
 
 
+# --- statement trees from clang cursors --------------------------------------
+#
+# Statements are rebuilt bottom-up from cursor kinds; every head token is
+# converted to a lexer Token (keywords lex as 'id', exactly like
+# tools/analysis/lexer.py) so the rules' token pattern-matching behaves
+# identically under either frontend.
+
+
+def _convert_tokens(cursor) -> List[Token]:
+    """Cursor extent tokens -> lexer Tokens. Comments are dropped;
+    preprocessor lines (a '#' opening a physical line) are skipped whole,
+    mirroring the internal lexer."""
+    import clang.cindex as ci
+    out: List[Token] = []
+    skip_line = -1
+    prev_line = -1
+    for t in cursor.get_tokens():
+        line = t.location.line
+        if t.kind == ci.TokenKind.COMMENT:
+            continue
+        if line == skip_line:
+            continue
+        if t.spelling == "#" and line != prev_line:
+            skip_line = line
+            continue
+        prev_line = line
+        if t.kind == ci.TokenKind.IDENTIFIER or \
+                t.kind == ci.TokenKind.KEYWORD:
+            kind = "id"
+        elif t.kind == ci.TokenKind.LITERAL:
+            s = t.spelling
+            core = s.lstrip("uUL8R")
+            if core.startswith('"'):
+                kind = "str"
+            elif core.startswith("'"):
+                kind = "chr"
+            else:
+                kind = "num"
+        else:
+            kind = "op"
+        out.append(Token(kind, t.spelling, line))
+    return out
+
+
+def _with_semi(toks: List[Token]) -> List[Token]:
+    """Appends the terminating ';' the internal parser keeps in statement
+    heads when clang's extent stopped short of it."""
+    if toks and not _is(toks[-1], "op", ";"):
+        return toks + [Token("op", ";", toks[-1].line)]
+    return toks
+
+
+def _paren_interior(toks: List[Token], start: int = 0) -> List[Token]:
+    """Tokens strictly inside the first '(' ... matching ')' at/after
+    start; empty when there is none."""
+    for k in range(start, len(toks)):
+        if _is(toks[k], "op", "("):
+            close = _matching(toks, k, "(", ")")
+            if close < len(toks):
+                return list(toks[k + 1:close])
+            break
+    return []
+
+
+def _opaque(toks: List[Token], line: int) -> List[Stmt]:
+    """The internal parser's view of anything it cannot structure: one
+    generic statement classified as decl-or-expr. Used both for plain
+    expression statements and for macro-spelled statements where clang
+    sees the expansion but the token stream spells a call."""
+    toks = _with_semi(toks)
+    if not toks:
+        return []
+    stmt = internal_parser._classify_simple(toks)
+    stmt.line = line if line else stmt.line
+    return [stmt]
+
+
+def _keyword_of(kind) -> Optional[str]:
+    """Leading keyword a statement cursor must spell in source; when the
+    first token differs the statement came from a macro expansion and the
+    internal parser saw an opaque call instead."""
+    import clang.cindex as ci
+    return {
+        ci.CursorKind.IF_STMT: "if",
+        ci.CursorKind.WHILE_STMT: "while",
+        ci.CursorKind.DO_STMT: "do",
+        ci.CursorKind.FOR_STMT: "for",
+        ci.CursorKind.CXX_FOR_RANGE_STMT: "for",
+        ci.CursorKind.SWITCH_STMT: "switch",
+        ci.CursorKind.RETURN_STMT: "return",
+        ci.CursorKind.BREAK_STMT: "break",
+        ci.CursorKind.CONTINUE_STMT: "continue",
+        ci.CursorKind.GOTO_STMT: "goto",
+        ci.CursorKind.CXX_TRY_STMT: "try",
+    }.get(kind)
+
+
+def _body_block(cursor) -> Block:
+    """A control-statement body: flatten a compound body into one Block,
+    wrap a single statement in a Block (internal _parse_body_or_stmt)."""
+    import clang.cindex as ci
+    if cursor is None:
+        return Block()
+    if cursor.kind == ci.CursorKind.COMPOUND_STMT:
+        return _block_of(cursor)
+    blk = Block()
+    blk.stmts.extend(_build_stmt(cursor))
+    return blk
+
+
+def _block_of(cursor) -> Block:
+    """Block from a COMPOUND_STMT's children. Statements that share one
+    extent start (several statements expanded from one macro invocation)
+    collapse to a single opaque statement, matching the internal view."""
+    blk = Block()
+    seen_offsets = set()
+    for child in cursor.get_children():
+        off = child.extent.start.offset
+        if off in seen_offsets:
+            continue
+        seen_offsets.add(off)
+        blk.stmts.extend(_build_stmt(child))
+    return blk
+
+
+def _range_for_stmt(inner: List[Token], line: int, body: Block) -> Stmt:
+    """Range-for fields from the paren interior, internal-parser style."""
+    colon = None
+    depth = 0
+    for k, tk in enumerate(inner):
+        if tk.kind == "op":
+            if tk.text in "([{":
+                depth += 1
+            elif tk.text in ")]}":
+                depth -= 1
+            elif tk.text == ":" and depth == 0:
+                prev = inner[k - 1] if k else None
+                if not (prev is not None and prev.kind == "op"
+                        and prev.text == ":"):
+                    colon = k
+                    break
+    if colon is None:
+        return Stmt("for", line, head=inner, blocks=[body])
+    var_tokens = inner[:colon]
+    range_expr = inner[colon + 1:]
+    var_type = None
+    var_name = None
+    ids = [x for x in var_tokens if x.kind == "id"]
+    if ids:
+        var_name = ids[-1].text
+        var_type = "".join(
+            x.text for x in var_tokens
+            if not (x.kind == "id" and x is ids[-1]))
+    return Stmt("rangefor", line, head=inner, blocks=[body],
+                loop_var_type=var_type, loop_var=var_name,
+                range_expr=range_expr)
+
+
+def _classic_for_stmt(inner: List[Token], line: int, body: Block) -> Stmt:
+    semi = None
+    depth = 0
+    for k, tk in enumerate(inner):
+        if tk.kind == "op":
+            if tk.text in "([{":
+                depth += 1
+            elif tk.text in ")]}":
+                depth -= 1
+            elif tk.text == ";" and depth == 0:
+                semi = k
+                break
+    for_init = None
+    if semi is not None and semi > 0:
+        for_init = internal_parser._classify_simple(inner[:semi])
+    return Stmt("for", line, head=inner, blocks=[body], for_init=for_init)
+
+
+def _build_stmt(cursor) -> List[Stmt]:
+    """One statement cursor -> zero or more Stmt nodes (case labels
+    flatten into their sub-statements; null statements vanish)."""
+    import clang.cindex as ci
+    kind = cursor.kind
+    if kind == ci.CursorKind.NULL_STMT:
+        return []
+    if kind in (ci.CursorKind.CASE_STMT, ci.CursorKind.DEFAULT_STMT):
+        kids = list(cursor.get_children())
+        return _build_stmt(kids[-1]) if kids else []
+    toks = _convert_tokens(cursor)
+    if not toks:
+        return []
+    line = toks[0].line
+    kw = _keyword_of(kind)
+    if kw is not None and not _is(toks[0], "id", kw):
+        # Spelled as a macro: the internal parser sees an opaque call.
+        return _opaque(toks, line)
+    if kind == ci.CursorKind.COMPOUND_STMT:
+        if not _is(toks[0], "op", "{"):
+            return _opaque(toks, line)
+        return [Stmt("block", line, blocks=[_block_of(cursor)])]
+    if kind == ci.CursorKind.IF_STMT:
+        kids = list(cursor.get_children())
+        head = _paren_interior(toks)
+        blocks = [Block()]
+        if len(kids) >= 2:
+            blocks = [_body_block(kids[1])]
+        if len(kids) >= 3:
+            blocks.append(_body_block(kids[2]))
+        return [Stmt("if", line, head=head, blocks=blocks)]
+    if kind in (ci.CursorKind.WHILE_STMT, ci.CursorKind.SWITCH_STMT):
+        kids = list(cursor.get_children())
+        head = _paren_interior(toks)
+        body = _body_block(kids[-1]) if kids else Block()
+        name = "while" if kind == ci.CursorKind.WHILE_STMT else "switch"
+        return [Stmt(name, line, head=head, blocks=[body])]
+    if kind == ci.CursorKind.DO_STMT:
+        kids = list(cursor.get_children())
+        body = _body_block(kids[0]) if kids else Block()
+        head: List[Token] = []
+        depth = 0
+        for k, t in enumerate(toks):
+            if t.kind == "op":
+                if t.text in ("{", "(", "["):
+                    depth += 1
+                elif t.text in ("}", ")", "]"):
+                    depth -= 1
+            elif depth == 0 and k > 0 and _is(t, "id", "while"):
+                head = _paren_interior(toks, k)
+                break
+        return [Stmt("dowhile", line, head=head, blocks=[body])]
+    if kind == ci.CursorKind.FOR_STMT:
+        kids = list(cursor.get_children())
+        inner = _paren_interior(toks)
+        body = _body_block(kids[-1]) if kids else Block()
+        return [_classic_for_stmt(inner, line, body)]
+    if kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+        kids = list(cursor.get_children())
+        inner = _paren_interior(toks)
+        body = _body_block(kids[-1]) if kids else Block()
+        return [_range_for_stmt(inner, line, body)]
+    if kind == ci.CursorKind.RETURN_STMT:
+        return [Stmt("return", line, head=_with_semi(toks)[1:])]
+    if kind == ci.CursorKind.BREAK_STMT:
+        return [Stmt("break", line)]
+    if kind == ci.CursorKind.CONTINUE_STMT:
+        return [Stmt("continue", line)]
+    if kind == ci.CursorKind.CXX_TRY_STMT:
+        kids = list(cursor.get_children())
+        blocks = [_body_block(kids[0])] if kids else [Block()]
+        for handler in kids[1:]:
+            hkids = list(handler.get_children())
+            blocks.append(_body_block(hkids[-1]) if hkids else Block())
+        return [Stmt("try", line, blocks=blocks)]
+    if kind == ci.CursorKind.DECL_STMT:
+        first = toks[0].text
+        if first in ("class", "struct", "enum", "union"):
+            return []  # local type definition; internal parser skips it
+        if first in ("using", "typedef", "static_assert"):
+            return [Stmt("expr", line, head=_with_semi(toks))]
+        return _opaque(toks, line)
+    # Everything else — expression statements, goto/labels, and constructs
+    # with no structured mapping — is the internal parser's generic
+    # statement: a decl-or-expr over the raw tokens.
+    return _opaque(toks, line)
+
+
+def _build_bodies(tu: TranslationUnit, cursor, fs_path: Path, warn) -> int:
+    """Rebuilds bodies of `tu.functions` from clang statement cursors.
+
+    The internal function list is canonical: a clang definition is matched
+    to an internal FunctionInfo by (name, line-of-name); unmatched cursors
+    are ignored so clang-only visibility never changes the finding set.
+    Returns the number of bodies rebuilt."""
+    import clang.cindex as ci
+    want = fs_path.resolve().as_posix()
+    by_key = {}
+    for fn in tu.functions:
+        by_key.setdefault((fn.name, fn.line), fn)
+    rebuilt = 0
+    fn_kinds = (ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+                ci.CursorKind.FUNCTION_TEMPLATE)
+    for c in cursor.walk_preorder():
+        if c.kind not in fn_kinds or not c.is_definition():
+            continue
+        if c.location.file is None or \
+                Path(c.location.file.name).resolve().as_posix() != want:
+            continue
+        fn = by_key.get((c.spelling, c.location.line))
+        if fn is None or fn.body is None:
+            continue
+        body_cursor = None
+        for child in c.get_children():
+            if child.kind == ci.CursorKind.COMPOUND_STMT:
+                body_cursor = child
+        if body_cursor is None:
+            continue
+        try:
+            fn.body = _block_of(body_cursor)
+            rebuilt += 1
+        except Exception as e:
+            if warn:
+                warn(f"{tu.rel}: clang body rebuild failed for "
+                     f"{fn.qualname} ({e}); keeping internal body")
+    return rebuilt
+
+
 def load_tu(fs_path: Path, rel: str, root: Path,
             warn=None) -> TranslationUnit:
-    """Internal-parse `fs_path`, then overlay clang symbol facts.
+    """Internal-parse `fs_path`, then overlay clang symbol facts and
+    rebuild function bodies from clang statement cursors.
 
     Falls back to the plain internal TU (with a warning via `warn`) on any
     clang failure; never raises for clang's sake."""
@@ -146,6 +470,7 @@ def load_tu(fs_path: Path, rel: str, root: Path,
         if fatal:
             raise RuntimeError(fatal[0].spelling)
         _augment_symbols(tu, unit.cursor, rel)
+        _build_bodies(tu, unit.cursor, fs_path, warn)
         tu.frontend = "clang"
     except Exception as e:
         if warn:

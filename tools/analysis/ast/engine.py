@@ -23,7 +23,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..engine import (
     AnalysisError, AnalysisResult, Finding, _allowlist_match,
@@ -39,10 +39,10 @@ FRONTENDS = ("auto", "internal", "clang")
 
 
 def known_rule_names() -> Set[str]:
-    """Union of token-layer and AST-layer rule names, for suppression and
-    allowlist validation on either engine."""
-    from ..rules import RULES_BY_NAME
-    return set(RULES_BY_NAME) | set(AST_RULES_BY_NAME)
+    """Union of token-, AST-, and IPA-layer rule names, for suppression
+    and allowlist validation on any engine."""
+    from ..engine import _known_rule_names
+    return _known_rule_names() | set(AST_RULES_BY_NAME)
 
 
 def _load_file_tu(fs_path: Path, rel: str, root: Path, frontend: str,
@@ -62,6 +62,8 @@ def _load_file_tu(fs_path: Path, rel: str, root: Path, frontend: str,
 def analyze_file_ast(
     fs_path: Path, rel: str, rules: Sequence[ASTRule], root: Path,
     frontend: str, warnings: List[str],
+    suppressed_by_rule: Optional[Dict[str, int]] = None,
+    rule_elapsed: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[Finding], int]:
     text = fs_path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
@@ -74,9 +76,18 @@ def analyze_file_ast(
     for rule in rules:
         if not rule.applies_to(rel):
             continue
-        for line, message in rule.check(tu):
+        started = time.monotonic()
+        hits = list(rule.check(tu))
+        if rule_elapsed is not None:
+            rule_elapsed[rule.name] = (
+                rule_elapsed.get(rule.name, 0.0)
+                + (time.monotonic() - started))
+        for line, message in hits:
             if (line, rule.name) in suppressions:
                 suppressed += 1
+                if suppressed_by_rule is not None:
+                    suppressed_by_rule[rule.name] = \
+                        suppressed_by_rule.get(rule.name, 0) + 1
                 continue
             snippet = lines[line - 1].strip() if 0 < line <= len(lines) \
                 else ""
@@ -102,7 +113,9 @@ def analyze_paths_ast(
     findings: List[Finding] = []
     used_entries: Set[int] = set()
     suppressed = 0
-    scanned = 0
+    suppressed_by_rule: Dict[str, int] = {}
+    rule_elapsed: Dict[str, float] = {}
+    scanned_files: List[Tuple[str, Path]] = []
     for arg in paths:
         p = Path(arg)
         if not p.exists():
@@ -114,19 +127,24 @@ def analyze_paths_ast(
             except ValueError:
                 rel = f.as_posix()
             file_findings, file_suppressed = analyze_file_ast(
-                f, rel, rules, root, frontend, warnings)
-            scanned += 1
+                f, rel, rules, root, frontend, warnings,
+                suppressed_by_rule, rule_elapsed)
+            scanned_files.append((rel, f))
             suppressed += file_suppressed
             for finding in file_findings:
                 k = _allowlist_match(finding, entries)
                 if k is not None:
                     used_entries.add(k)
                     suppressed += 1
+                    suppressed_by_rule[finding.rule] = \
+                        suppressed_by_rule.get(finding.rule, 0) + 1
                 else:
                     findings.append(finding)
-    check_stale_allowlist(entries, used_entries, {r.name for r in rules})
+    check_stale_allowlist(entries, used_entries, {r.name for r in rules},
+                          scanned_files)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return AnalysisResult(findings, suppressed, scanned)
+    return AnalysisResult(findings, suppressed, len(scanned_files),
+                          suppressed_by_rule, rule_elapsed)
 
 
 def main(argv: Sequence[str]) -> int:

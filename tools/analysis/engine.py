@@ -21,8 +21,10 @@ from __future__ import annotations
 import json
 import re
 import sys
+import time
 from pathlib import Path
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import (Dict, Iterable, List, NamedTuple, Optional, Sequence,
+                    Set, Tuple)
 
 from .lexer import Comment, tokenize
 from .rules import ALL_RULES, LEGACY_RULES, RULES_BY_NAME, Rule
@@ -44,7 +46,8 @@ _SKIP_COMPONENT = re.compile(r"^(build.*|\.git|_deps|\.cache)$")
 # directory walks and only analyzed when a CLI argument points inside them
 # (which is exactly what the self-tests do).
 _FIXTURE_FRAGMENTS = ("tools/lint_fixtures", "tools/analysis/fixtures",
-                      "tools/analysis/ast/fixtures")
+                      "tools/analysis/ast/fixtures",
+                      "tools/analysis/ipa/fixtures")
 
 _SUPPRESS_RE = re.compile(
     r"ll-analysis:\s*allow\(\s*([^)]*?)\s*\)\s*(.*)", re.DOTALL
@@ -56,14 +59,20 @@ class AnalysisError(Exception):
 
 
 def _known_rule_names() -> set:
-    """Token-layer plus AST-layer rule names. Suppressions and allowlists
-    may name a rule from either layer (the AST engine reuses this file's
-    machinery), so validation always runs against the union. Imported
-    lazily: analysis.ast imports back into this module."""
+    """Token-layer plus AST-layer plus IPA-layer rule names. Suppressions
+    and allowlists may name a rule from any layer (the AST and IPA engines
+    reuse this file's machinery), so validation always runs against the
+    union. Imported lazily: analysis.ast / analysis.ipa import back into
+    this module."""
     names = set(RULES_BY_NAME)
     try:
         from .ast.rules import AST_RULES_BY_NAME
         names |= set(AST_RULES_BY_NAME)
+    except ImportError:
+        pass
+    try:
+        from .ipa.rules import IPA_RULES_BY_NAME
+        names |= set(IPA_RULES_BY_NAME)
     except ImportError:
         pass
     return names
@@ -85,12 +94,24 @@ class AnalysisResult(NamedTuple):
     findings: List[Finding]
     suppressed: int
     files_scanned: int
+    # Per-rule breakdowns (additive; the report stays "version": 1).
+    # suppressed_by_rule counts inline + allowlist suppressions keyed by
+    # rule name; rule_elapsed is wall-clock seconds spent inside each
+    # rule's check() summed over files. Defaults keep older construction
+    # sites (three positional fields) working unchanged.
+    suppressed_by_rule: Dict[str, int] = {}
+    rule_elapsed: Dict[str, float] = {}
 
     def to_json(self) -> dict:
         return {
             "version": 1,
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
+            "suppressed_by_rule": dict(sorted(
+                self.suppressed_by_rule.items())),
+            "rule_elapsed_seconds": {
+                name: round(secs, 4)
+                for name, secs in sorted(self.rule_elapsed.items())},
             "findings": [f._asdict() for f in self.findings],
         }
 
@@ -153,12 +174,18 @@ def _parse_suppressions(
 
 def analyze_file(
     fs_path: Path, rel: str, rules: Sequence[Rule],
+    suppressed_by_rule: Optional[Dict[str, int]] = None,
+    rule_elapsed: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[Finding], int]:
-    """Analyzes one file; returns (findings, suppressed_count)."""
+    """Analyzes one file; returns (findings, suppressed_count).
+
+    When the caller passes accumulator dicts, inline suppressions are
+    counted per rule name and rule.check() wall-clock is summed per rule.
+    """
     text = fs_path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
     tokens, comments = tokenize(text)
-    # Suppressions must name *any* known rule (either layer), not just the
+    # Suppressions must name *any* known rule (any layer), not just the
     # active subset, so a legacy-only run (the lint shim) doesn't choke on
     # suppressions for newer or AST-layer rules.
     suppressions = _parse_suppressions(
@@ -168,9 +195,18 @@ def analyze_file(
     for rule in rules:
         if not rule.applies_to(rel):
             continue
-        for line, message in rule.check(tokens):
+        started = time.monotonic()
+        hits = list(rule.check(tokens))
+        if rule_elapsed is not None:
+            rule_elapsed[rule.name] = (
+                rule_elapsed.get(rule.name, 0.0)
+                + (time.monotonic() - started))
+        for line, message in hits:
             if (line, rule.name) in suppressions:
                 suppressed += 1
+                if suppressed_by_rule is not None:
+                    suppressed_by_rule[rule.name] = \
+                        suppressed_by_rule.get(rule.name, 0) + 1
                 continue
             snippet = lines[line - 1].strip() if 0 < line <= len(lines) \
                 else ""
@@ -253,19 +289,54 @@ def _allowlisted(
     return _allowlist_match(f, entries) is not None
 
 
+def _stale_entry_trace(
+    frag: str, line_frag: Optional[str],
+    scanned: Sequence[Tuple[str, Path]],
+) -> str:
+    """Where a stale allowlist entry last matched: the file:line whose
+    content still carries the entry's line fragment (the code survives but
+    the rule no longer fires there), or a note that the fragment is gone
+    entirely. Only runs on the error path, so re-reading files is fine."""
+    candidates = [(rel, fs) for rel, fs in scanned if frag in rel]
+    if not candidates:
+        return "path fragment matches no scanned file"
+    if line_frag is None:
+        rel = candidates[0][0]
+        extra = f" (+{len(candidates) - 1} more)" if len(candidates) > 1 \
+            else ""
+        return f"path still matches {rel}{extra}, rule fired nowhere in it"
+    for rel, fs in candidates:
+        text = fs.read_text(encoding="utf-8", errors="replace")
+        last = None
+        for n, line in enumerate(text.splitlines(), 1):
+            if line_frag in line:
+                last = n
+        if last is not None:
+            return (f"line content last matched at {rel}:{last}, "
+                    "rule no longer fires there")
+    return (f"line fragment no longer appears in any matching file "
+            f"(checked {', '.join(rel for rel, _ in candidates)})")
+
+
 def check_stale_allowlist(
     entries: Sequence[Tuple[str, str, Optional[str]]],
     used: Set[int], active_rule_names: Set[str],
+    scanned: Sequence[Tuple[str, Path]] = (),
 ) -> None:
     """Hard-errors on entries whose rule was active this run yet matched
     nothing — stale suppressions must not rot silently. Entries for rules
     outside the active set (e.g. semantic-rule entries during a
-    --legacy-only lint run) are left alone."""
+    --legacy-only lint run) are left alone. When the caller passes the
+    scanned (rel, fs_path) list, each stale entry's message pins the
+    file:line its fragment last matched, so the reporter can tell "code
+    deleted" from "rule stopped firing" without a manual grep."""
     stale = [entries[k] for k in range(len(entries))
              if k not in used and entries[k][0] in active_rule_names]
     if stale:
         rendered = ", ".join(
             "'" + " ".join(x for x in (r, frag, lf) if x) + "'"
+            + (f" [{_stale_entry_trace(frag, lf, scanned)}]"
+               if scanned else "")
             for r, frag, lf in stale)
         raise AnalysisError(
             f"stale allowlist entries matched no finding: {rendered} — "
@@ -285,7 +356,9 @@ def analyze_paths(
     findings: List[Finding] = []
     used_entries: Set[int] = set()
     suppressed = 0
-    scanned = 0
+    suppressed_by_rule: Dict[str, int] = {}
+    rule_elapsed: Dict[str, float] = {}
+    scanned_files: List[Tuple[str, Path]] = []
     for arg in paths:
         p = Path(arg)
         if not p.exists():
@@ -296,19 +369,24 @@ def analyze_paths(
                 rel = f.resolve().relative_to(root).as_posix()
             except ValueError:
                 rel = f.as_posix()
-            file_findings, file_suppressed = analyze_file(f, rel, rules)
-            scanned += 1
+            file_findings, file_suppressed = analyze_file(
+                f, rel, rules, suppressed_by_rule, rule_elapsed)
+            scanned_files.append((rel, f))
             suppressed += file_suppressed
             for finding in file_findings:
                 k = _allowlist_match(finding, entries)
                 if k is not None:
                     used_entries.add(k)
                     suppressed += 1
+                    suppressed_by_rule[finding.rule] = \
+                        suppressed_by_rule.get(finding.rule, 0) + 1
                 else:
                     findings.append(finding)
-    check_stale_allowlist(entries, used_entries, {r.name for r in rules})
+    check_stale_allowlist(entries, used_entries, {r.name for r in rules},
+                          scanned_files)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return AnalysisResult(findings, suppressed, scanned)
+    return AnalysisResult(findings, suppressed, len(scanned_files),
+                          suppressed_by_rule, rule_elapsed)
 
 
 def main(argv: Sequence[str]) -> int:

@@ -1,0 +1,47 @@
+// Fixture: blocking-under-lock must fire exactly three times — direct
+// file I/O under a mutex, a callee that blocks while the caller holds a
+// lock, and a condition-variable wait performed with a second (unrelated)
+// mutex still held.
+#include <cstdio>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class TraceSink {
+ public:
+  void write_sample();
+  void flush_all();
+  void drain();
+
+ private:
+  void flush_buffers();
+  util::Mutex sink_mu_;
+  util::Mutex index_mu_;
+  util::CondVar drained_cv_;
+  std::FILE* out_ = nullptr;
+  bool drained_ = false;
+};
+
+void TraceSink::write_sample() {
+  util::MutexLock lock(sink_mu_);
+  // 1: direct file I/O while sink_mu_ is held.
+  std::fwrite(sample_, 1, sample_len_, out_);
+}
+
+void TraceSink::flush_buffers() { std::fflush(out_); }
+
+void TraceSink::flush_all() {
+  util::MutexLock lock(sink_mu_);
+  // 2: flush_buffers() blocks (fflush) while sink_mu_ is held here.
+  flush_buffers();
+}
+
+void TraceSink::drain() {
+  util::MutexLock index(index_mu_);
+  util::MutexLock lock(sink_mu_);
+  // 3: the wait releases sink_mu_ only; index_mu_ stays held throughout.
+  while (!drained_) drained_cv_.wait(lock);
+}
+
+}  // namespace fixture

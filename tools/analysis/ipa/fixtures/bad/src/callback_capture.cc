@@ -1,0 +1,39 @@
+// Fixture: callback-outlives-capture must fire exactly three times — a
+// default &-capture escaping from a free function, a by-reference local
+// in a direct schedule, and raw `this` escaping through a helper that
+// registers its parameter into deferred execution (the interprocedural
+// case the AST-layer deferred-raw-this rule cannot see).
+#include <utility>
+
+namespace fixture {
+
+// 1: every local rides into the event queue by reference.
+void arm_probe(Simulator& sim, int budget) {
+  sim.schedule(7, [&] { consume(budget); });
+}
+
+class Pacer {
+ public:
+  void arm_burst();
+  void arm_retx();
+
+ private:
+  void arm(util::Callback cb);
+  Simulator& sim_;
+  int queued_ = 0;
+};
+
+void Pacer::arm(util::Callback cb) { sim_.post(std::move(cb)); }
+
+void Pacer::arm_burst() {
+  int burst = 4;
+  // 2: `burst` dies with this frame; the callback runs later.
+  sim_.schedule(2, [&burst] { --burst; });
+}
+
+void Pacer::arm_retx() {
+  // 3: raw `this` escapes through arm() onto the event queue.
+  arm([this] { ++queued_; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// Fixture: lock-order-cycle must fire exactly twice — once for an AB-BA
+// inversion across two functions, once for a non-recursive mutex
+// re-acquired through a callee (self-deadlock).
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Router {
+ public:
+  void to_a_then_b();
+  void to_b_then_a();
+
+ private:
+  util::Mutex routes_mu_;
+  util::Mutex stats_mu_;
+  int routes_ = 0;
+  int stats_ = 0;
+};
+
+void Router::to_a_then_b() {
+  util::MutexLock routes(routes_mu_);
+  util::MutexLock stats(stats_mu_);
+  ++routes_;
+  ++stats_;
+}
+
+// 1: the reversed nesting below closes the routes_mu_/stats_mu_ cycle.
+void Router::to_b_then_a() {
+  util::MutexLock stats(stats_mu_);
+  util::MutexLock routes(routes_mu_);
+  ++stats_;
+  ++routes_;
+}
+
+class Ledger {
+ public:
+  void post_entry();
+
+ private:
+  void audit_locked();
+  util::Mutex ledger_mu_;
+  int entries_ = 0;
+};
+
+void Ledger::audit_locked() {
+  util::MutexLock lock(ledger_mu_);
+  ++entries_;
+}
+
+// 2: audit_locked() re-acquires ledger_mu_ while post_entry() holds it.
+void Ledger::post_entry() {
+  util::MutexLock lock(ledger_mu_);
+  ++entries_;
+  audit_locked();
+}
+
+}  // namespace fixture

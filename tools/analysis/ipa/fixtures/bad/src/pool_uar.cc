@@ -1,0 +1,52 @@
+// Fixture: pool-use-after-release must fire exactly three times — once
+// for a direct stale-handle use, once through a releasing helper (the
+// interprocedural case), and once for a cancelled EventId. Lives under a
+// src/ component because the rule is scoped to src/.
+#include <utility>
+
+namespace fixture {
+
+class ConnTable {
+ public:
+  void direct_stale();
+  void via_helper();
+
+ private:
+  void drop(Ref h);
+  void touch(Ref h);
+  util::ObjectPool<Conn> pool_;
+};
+
+void ConnTable::direct_stale() {
+  Ref h = pool_.acquire();
+  pool_.release(h);
+  // 1: the slot behind `h` can be re-acquired before this runs.
+  touch(h);
+}
+
+void ConnTable::drop(Ref h) { pool_.release(h); }
+
+void ConnTable::via_helper() {
+  Ref h = pool_.acquire();
+  drop(h);
+  // 2: drop() releases its parameter; the summary taints `h` here.
+  touch(h);
+}
+
+class RetxTimer {
+ public:
+  void stale_event();
+
+ private:
+  void dispatch(EventId id);
+  Simulator& sim_;
+};
+
+void RetxTimer::stale_event() {
+  EventId id = sim_.schedule(3, 0);
+  sim_.cancel(id);
+  // 3: the cancelled id is re-dispatched without reassignment.
+  dispatch(id);
+}
+
+}  // namespace fixture

@@ -1,0 +1,122 @@
+// Fixture: near-misses of every IPA rule; the analyzer must stay silent.
+#include <cstdio>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class CleanTable {
+ public:
+  void recycle();
+  void conditional_drop(bool stale);
+
+ private:
+  void touch2(Ref h);
+  util::ObjectPool<Conn> pool_;
+};
+
+void CleanTable::recycle() {
+  Ref h = pool_.acquire();
+  pool_.release(h);
+  h = pool_.acquire();  // reassignment heals the handle
+  touch2(h);
+}
+
+void CleanTable::conditional_drop(bool stale) {
+  Ref h = pool_.acquire();
+  if (stale) {
+    pool_.release(h);
+    return;  // released only on the exiting path
+  }
+  touch2(h);
+}
+
+class CleanTimer {
+ public:
+  void rearm();
+
+ private:
+  void dispatch2(EventId id);
+  Simulator& sim_;
+  EventId pending2_ = 0;
+};
+
+void CleanTimer::rearm() {
+  sim_.cancel(pending2_);
+  pending2_ = sim_.schedule(5, 0);  // cancelled id immediately replaced
+  dispatch2(pending2_);
+}
+
+class CleanRouter {
+ public:
+  void lookup();
+  void insert();
+
+ private:
+  util::Mutex map_mu_;
+  util::Mutex hot_mu_;
+  int hits_ = 0;
+};
+
+// Both paths nest map_mu_ -> hot_mu_: one global order, no cycle.
+void CleanRouter::lookup() {
+  util::MutexLock map(map_mu_);
+  util::MutexLock hot(hot_mu_);
+  ++hits_;
+}
+
+void CleanRouter::insert() {
+  util::MutexLock map(map_mu_);
+  util::MutexLock hot(hot_mu_);
+  ++hits_;
+}
+
+class CleanSink {
+ public:
+  void await_drain();
+  void flush_outside();
+
+ private:
+  util::Mutex gate_mu_;
+  util::CondVar gate_cv_;
+  std::FILE* log_ = nullptr;
+  bool open_ = false;
+};
+
+// Waiting on the single held lock is the designed cv pattern.
+void CleanSink::await_drain() {
+  util::MutexLock lock(gate_mu_);
+  while (!open_) gate_cv_.wait(lock);
+}
+
+void CleanSink::flush_outside() {
+  {
+    util::MutexLock lock(gate_mu_);
+    open_ = false;
+  }
+  std::fflush(log_);  // I/O after the lock scope closed
+}
+
+class CleanPacer {
+ public:
+  void arm_safe();
+  void arm_helper_safe();
+
+ private:
+  void arm2(util::Callback cb);
+  Simulator& sim_;
+};
+
+void CleanPacer::arm2(util::Callback cb) { sim_.post(std::move(cb)); }
+
+// A live-token capture pins lifetime; both forms must stay silent.
+void CleanPacer::arm_safe() {
+  sim_.schedule(2, [token = alive_token()] { token.ping(); });
+}
+
+void CleanPacer::arm_helper_safe() {
+  arm2([token = alive_token()] { token.ping(); });
+}
+
+}  // namespace fixture

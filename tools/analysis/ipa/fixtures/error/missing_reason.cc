@@ -1,0 +1,6 @@
+// Fixture: a suppression without a reason is a hard error (exit 2).
+void f() {
+  // ll-analysis: allow(pool-use-after-release)
+  int x = 0;
+  (void)x;
+}

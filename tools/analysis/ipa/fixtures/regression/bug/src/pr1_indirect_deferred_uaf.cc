@@ -1,0 +1,32 @@
+// Regression fixture: the PR 1 deferred-callback use-after-free, in the
+// interprocedural form the AST layer cannot see. The ACK machine routed
+// its deferred emission through a helper; the raw `this` capture reached
+// the simulator event queue one call away from the schedule() itself, so
+// the per-function deferred-raw-this rule stayed silent while teardown
+// during the emission window still left a dangling `this` on the queue.
+// Expected: callback-outlives-capture fires once, at the arm site.
+#include <utility>
+
+namespace fixture {
+
+class QuicAckMachine {
+ public:
+  void maybe_send_ack();
+
+ private:
+  void defer_emission(util::Callback cb);
+  void emit_ack();
+  Simulator& sim_;
+};
+
+void QuicAckMachine::defer_emission(util::Callback cb) {
+  sim_.schedule(9, std::move(cb));
+}
+
+void QuicAckMachine::maybe_send_ack() {
+  // BUG (as shipped): raw `this` rides through defer_emission() onto the
+  // event queue; teardown during the window leaves it dangling.
+  defer_emission([this] { emit_ack(); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Regression fixture: the harness progress reporter wrote its tick marks
+// while holding its mutex, so one stalled reader of the progress stream
+// (a full stderr pipe) wedged every worker that ticked progress.
+// Expected: blocking-under-lock fires twice (fputc, fflush).
+#include <cstdio>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class ProgressMarks {
+ public:
+  void mark();
+
+ private:
+  util::Mutex marks_mu_;
+  std::FILE* marks_out_ = nullptr;
+  int marks_ = 0;
+};
+
+void ProgressMarks::mark() {
+  util::MutexLock lock(marks_mu_);
+  ++marks_;
+  // BUG (as shipped): blocking stream writes inside the critical section.
+  std::fputc('.', marks_out_);
+  std::fflush(marks_out_);
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Regression fixture (fixed form): the PR 1 interprocedural deferred
+// use-after-free, with the shipped fix — the callback pins lifetime with
+// a live token instead of a raw `this`. Expected: silent.
+#include <utility>
+
+namespace fixture {
+
+class QuicAckMachine {
+ public:
+  void maybe_send_ack();
+
+ private:
+  void defer_emission(util::Callback cb);
+  void emit_ack();
+  Simulator& sim_;
+  LiveToken alive_;
+};
+
+void QuicAckMachine::defer_emission(util::Callback cb) {
+  sim_.schedule(9, std::move(cb));
+}
+
+void QuicAckMachine::maybe_send_ack() {
+  // FIX: the token keeps the machine alive (or drops the callback) for
+  // as long as the registration can run.
+  defer_emission([token = alive_.hold(), this] {
+    if (token.expired()) return;
+    emit_ack();
+  });
+}
+
+}  // namespace fixture

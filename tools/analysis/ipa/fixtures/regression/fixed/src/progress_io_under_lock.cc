@@ -1,0 +1,33 @@
+// Regression fixture (fixed form): progress marks with the shipped fix —
+// state is snapshotted under the lock, the blocking stream writes happen
+// outside it. Expected: silent.
+#include <cstdio>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class ProgressMarks {
+ public:
+  void mark();
+
+ private:
+  util::Mutex marks_mu_;
+  std::FILE* marks_out_ = nullptr;
+  int marks_ = 0;
+};
+
+void ProgressMarks::mark() {
+  std::FILE* out = nullptr;
+  {
+    util::MutexLock lock(marks_mu_);
+    ++marks_;
+    out = marks_out_;
+  }
+  if (out != nullptr) {
+    std::fputc('.', out);
+    std::fflush(out);
+  }
+}
+
+}  // namespace fixture

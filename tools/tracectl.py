@@ -6,8 +6,8 @@ Subcommands over the JSON-lines artifacts described in docs/trace_schema.md
 
   validate   strict schema check; robust to malformed/truncated lines
   summarize  per-connection timeline: handshake, retransmits, cwnd, stalls
-  detect     seeded anomaly rules: spurious-loss storms, handshake stalls,
-             cwnd collapse, ACK-delay outliers
+  detect     seeded anomaly rules: spurious-loss storms, retransmit storms,
+             handshake stalls, cwnd collapse, ACK-delay outliers
   diff       compare two trace dirs (or files) event-class by event-class
 
 Exit codes: 0 clean, 1 findings / validation errors, 2 usage or I/O error.
@@ -387,6 +387,33 @@ def detect_trace(trace: Trace, args: argparse.Namespace) -> List[Finding]:
             f"{worst} spurious losses within {args.storm_window_s:g}s "
             f"(threshold {args.storm_count}); total spurious={len(spurious_ts)}"))
 
+    # Rule 1b: retransmit storm — sustained retransmission pressure (lost
+    # QUIC packets plus rtx-flagged TCP segments) inside a sliding window
+    # of sim time, with too few spurious-loss recoveries to blame
+    # reordering. Spurious-heavy bursts belong to the rule above; this one
+    # flags genuine sustained loss (collapsing link or runaway RTO).
+    rtx_window_ns = int(args.rtx_storm_window_s * 1e9)
+    rtx_ts = sorted(obj["t"] for _, obj in trace.events
+                    if isinstance(obj.get("t"), int)
+                    and (obj.get("ev") == "quic:packet_lost"
+                         or (obj.get("ev") == "tcp:segment_sent"
+                             and obj.get("rtx"))))
+    lo = 0
+    worst_rtx = 0
+    for hi in range(len(rtx_ts)):
+        while rtx_ts[hi] - rtx_ts[lo] > rtx_window_ns:
+            lo += 1
+        worst_rtx = max(worst_rtx, hi - lo + 1)
+    if worst_rtx >= args.rtx_storm_count and \
+            len(spurious_ts) < args.rtx_spurious_ratio * worst_rtx:
+        findings.append(Finding(
+            trace.path, "retransmit-storm",
+            f"{worst_rtx} retransmits within {args.rtx_storm_window_s:g}s "
+            f"(threshold {args.rtx_storm_count}) with only "
+            f"{len(spurious_ts)} spurious-loss recoveries "
+            f"(< {args.rtx_spurious_ratio:g}x) — sustained genuine loss, "
+            f"not reordering"))
+
     # Rule 2: handshake stall — establishment took too long, or never
     # happened on a run that timed out.
     stall_ns = int(args.handshake_stall_s * 1e9)
@@ -528,6 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--storm-count", type=int, default=5,
                    help="spurious losses within the window to call a storm")
     d.add_argument("--storm-window-s", type=float, default=1.0)
+    d.add_argument("--rtx-storm-count", type=int, default=8,
+                   help="retransmits within the window to call a storm")
+    d.add_argument("--rtx-storm-window-s", type=float, default=1.0)
+    d.add_argument("--rtx-spurious-ratio", type=float, default=0.5,
+                   help="spurious recoveries per windowed retransmit below "
+                        "which the storm counts as genuine loss")
     d.add_argument("--handshake-stall-s", type=float, default=1.0)
     d.add_argument("--collapse-fraction", type=float, default=0.1,
                    help="final cwnd below this fraction of peak = collapse")
