@@ -1,7 +1,12 @@
 // Fig. 4 — Timeline showing unfairness between QUIC and TCP sharing the
 // same 5 Mbps bottleneck (RTT = 36 ms, buffer = 30 KB): (a) QUIC vs one TCP
 // flow, (b) QUIC vs two TCP flows. Prints the per-flow throughput series.
+// With --trace-out/$LL_TRACE_OUT, each panel also writes a schema-v3
+// artifact (`ts:flow`/`ts:queue` series) for `tracectl timeline`.
+#include <filesystem>
+
 #include "bench_common.h"
+#include "util/check.h"
 
 namespace {
 
@@ -20,7 +25,14 @@ void run_panel(const char* label, const char* scalar_prefix, int tcp_flows) {
   cfg.duration = seconds(60);
   cfg.sample_interval = seconds(2);
   cfg.transfer_bytes = 256 * 1024 * 1024;
+  obs::JsonLinesSink sink;
+  const std::string& dir = longlook::bench::context().trace_dir();
+  if (!dir.empty()) cfg.trace = &sink;
   const auto reports = run_fairness(s, cfg);
+  if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
+    LL_CHECK(sink.write_file(dir + "/fig04_" + scalar_prefix + ".jsonl"));
+  }
 
   std::printf("\n--- %s: per-flow throughput (Mbps) over time ---\n", label);
   std::printf("%6s", "t(s)");

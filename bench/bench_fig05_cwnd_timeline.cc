@@ -1,7 +1,12 @@
 // Fig. 5 — Congestion-window timelines for QUIC and TCP sharing the same
 // 5 Mbps bottleneck (RTT=36ms, buffer=30KB): QUIC sustains a larger window
 // and grows it more aggressively, which is how it grabs the larger share.
+// With --trace-out/$LL_TRACE_OUT the run also writes a schema-v3 artifact
+// (`ts:flow` cwnd series) for `tracectl timeline --value cwnd`.
+#include <filesystem>
+
 #include "bench_common.h"
+#include "util/check.h"
 
 namespace {
 using namespace longlook;
@@ -25,7 +30,14 @@ int main(int argc, char** argv) {
   cfg.duration = seconds(60);
   cfg.sample_interval = milliseconds(500);
   cfg.transfer_bytes = 256 * 1024 * 1024;
+  obs::JsonLinesSink sink;
+  const std::string& dir = longlook::bench::context().trace_dir();
+  if (!dir.empty()) cfg.trace = &sink;
   const auto reports = run_fairness(s, cfg);
+  if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
+    LL_CHECK(sink.write_file(dir + "/fig05_cwnd.jsonl"));
+  }
 
   std::printf("\n--- cwnd (KB) over time, sampled every 0.5 s ---\n");
   std::printf("%7s %12s %12s\n", "t(s)", "QUIC cwnd", "TCP cwnd");

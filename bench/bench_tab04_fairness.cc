@@ -3,8 +3,10 @@
 // QUIC vs TCP, QUIC vs TCPx2, QUIC vs TCPx4 (plus the QUIC-vs-QUIC and
 // TCP-vs-TCP baseline fairness checks from the text).
 #include <cmath>
+#include <filesystem>
 
 #include "bench_common.h"
+#include "util/check.h"
 
 namespace {
 
@@ -30,7 +32,19 @@ std::vector<AggFlow> run_scenario(int quic_flows, int tcp_flows) {
     cfg.tcp_flows = tcp_flows;
     cfg.duration = seconds(30);
     cfg.transfer_bytes = 256 * 1024 * 1024;
+    // With --trace-out/$LL_TRACE_OUT, every (cell, round) writes a v3
+    // artifact whose ts:flow series tracectl timeline can cross-check
+    // against the scalars recorded below.
+    obs::JsonLinesSink sink;
+    const std::string& dir = longlook::bench::context().trace_dir();
+    if (!dir.empty()) cfg.trace = &sink;
     const auto reports = run_fairness(s, cfg);
+    if (!dir.empty()) {
+      std::filesystem::create_directories(dir);
+      LL_CHECK(sink.write_file(dir + "/tab04_q" + std::to_string(quic_flows) +
+                               "t" + std::to_string(tcp_flows) + "_r" +
+                               std::to_string(run) + ".jsonl"));
+    }
     if (agg.empty()) {
       for (const auto& r : reports) agg.push_back({r.name, {}});
     }

@@ -64,6 +64,10 @@ class BbrLite final : public SendAlgorithm {
   const std::vector<BbrTransition>& bbr_trace() const { return trace_; }
   double bandwidth_estimate_bps() const { return max_bandwidth_bps_; }
 
+  std::uint64_t pacing_rate_bps() const override {
+    return static_cast<std::uint64_t>(pacing_rate_bytes_per_sec());
+  }
+
  private:
   void enter(TimePoint now, BbrState s);
   void update_bandwidth(TimePoint now, const std::vector<AckedPacket>& acked);

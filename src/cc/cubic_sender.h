@@ -69,6 +69,12 @@ class CubicSender final : public SendAlgorithm {
   StateTracker& tracker() override { return tracker_; }
   const StateTracker& tracker() const override { return tracker_; }
 
+  std::uint64_t pacing_rate_bps() const override {
+    return config_.pacing_enabled
+               ? static_cast<std::uint64_t>(pacer_.rate_bytes_per_sec())
+               : 0;
+  }
+
   // Also emits "cc:cwnd" events whenever cwnd/ssthresh change.
   void set_trace(obs::TraceSink* sink, std::string side) override;
 

@@ -46,6 +46,10 @@ class SendAlgorithm {
   virtual std::size_t ssthresh() const = 0;
   virtual bool in_slow_start() const = 0;
   virtual bool in_recovery() const = 0;
+  // Current pacing rate in bytes/sec; 0 when the sender does not pace
+  // (kernel-TCP flavour) or has not yet computed a rate. Sampled by
+  // obs::StateSampler into `ts:conn` records.
+  virtual std::uint64_t pacing_rate_bps() const { return 0; }
 
   virtual StateTracker& tracker() = 0;
   virtual const StateTracker& tracker() const = 0;

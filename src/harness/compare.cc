@@ -8,6 +8,9 @@
 
 #include "harness/compare_detail.h"
 #include "net/trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/sampler.h"
+#include "sim/timer.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -20,9 +23,9 @@ void emit_run_start(obs::TraceSink* sink, const char* proto,
                     TimePoint now) {
   if (sink == nullptr) return;
   // "v" is the trace schema version (docs/trace_schema.md); v2 added the
-  // run:hist record type.
+  // run:hist record type, v3 the ts:/flight: families.
   sink->record(obs::TraceEvent("run:start", now)
-                   .u("v", 2)
+                   .u("v", 3)
                    .s("proto", proto)
                    .s("scenario", scenario.name)
                    .u("seed", scenario.seed)
@@ -71,6 +74,45 @@ void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb) {
   // with hard floors in CI (tools/bench_report.py perf-floor).
   prof->add("sim_event_pool_slots", tb.sim().event_pool_slots());
   prof->add("sim_callback_heap", tb.sim().callback_heap_allocs());
+}
+
+bool sampling_enabled(const CompareOptions& opts) {
+  if (opts.sample_state) return true;
+  const char* env = std::getenv("LL_SAMPLE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+void register_testbed_probes(obs::StateSampler& sampler, Testbed& tb) {
+  sampler.add_queue("up", [&tb] {
+    const LinkStats& s = tb.uplink().stats();
+    return obs::QueueSample{tb.uplink().queued_bytes(), s.dropped_queue,
+                            s.dropped_random, s.delivered};
+  });
+  sampler.add_queue("down", [&tb] {
+    const LinkStats& s = tb.downlink().stats();
+    return obs::QueueSample{tb.downlink().queued_bytes(), s.dropped_queue,
+                            s.dropped_random, s.delivered};
+  });
+  sampler.add_host("client", [&tb] {
+    Host& h = tb.client_host();
+    return obs::HostSample{h.packets_sent(), h.bytes_sent(),
+                           h.packets_received()};
+  });
+  sampler.add_host("server", [&tb] {
+    Host& h = tb.server_host();
+    return obs::HostSample{h.packets_sent(), h.bytes_sent(),
+                           h.packets_received()};
+  });
+}
+
+void fold_sampler_counters(obs::ProfilerShard* prof,
+                           const obs::StateSampler* sampler,
+                           std::uint64_t dumps_before) {
+  if (prof == nullptr) return;
+  if (sampler != nullptr) prof->add("ts_samples", sampler->records_emitted());
+  const std::uint64_t dumps = obs::FlightRecorder::thread_dumps();
+  if (dumps > dumps_before) prof->add("flight_dumps", dumps - dumps_before);
 }
 
 void fold_quic_run_metrics(const RunObserver& observer, bool done,
@@ -161,6 +203,14 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
     traced.quic.trace = sink;
     eff = &traced;
   }
+  // Periodic `ts:` sampling (schema v3). Declared before the endpoints so
+  // connections deregister (in their destructors) before the sampler dies.
+  std::optional<obs::StateSampler> sampler;
+  const std::uint64_t dumps_before = obs::FlightRecorder::thread_dumps();
+  if (sink != nullptr && detail::sampling_enabled(opts)) {
+    sampler.emplace(sink);
+    traced.quic.sampler = &*sampler;
+  }
 
   Testbed tb(scenario);
   // Declared after tb so they detach from the links before teardown.
@@ -171,6 +221,7 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
     down_obs.emplace(tb.downlink(), *sink, "down");
     emit_run_start(sink, "quic", scenario, workload, tb.sim().now());
   }
+  if (sampler) detail::register_testbed_probes(*sampler, tb);
   http::QuicObjectServer server(tb.sim(), tb.server_host(), kQuicPort,
                                 eff->quic);
   const std::shared_ptr<void> keepalive =
@@ -185,10 +236,17 @@ std::optional<double> run_quic_page_load(const Scenario& scenario,
   http::PageLoader loader(tb.sim(), session,
                           {workload.object_count, workload.object_bytes});
   loader.start();
+  std::optional<PeriodicTimer> sample_timer;
+  if (sampler) {
+    sample_timer.emplace(tb.sim(), eff->sample_interval,
+                         [&] { sampler->sample(tb.sim().now()); });
+  }
   const bool done = tb.run_until([&] { return loader.finished(); },
                                  eff->timeout);
   detail::emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
   detail::fold_profile_counters(prof, tb);
+  detail::fold_sampler_counters(prof, sampler ? &*sampler : nullptr,
+                                dumps_before);
 
   if (observer != nullptr) {
     detail::fold_quic_run_metrics(*observer, done, loader.result().plt,
@@ -212,6 +270,13 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
     traced.tcp.trace = sink;
     eff = &traced;
   }
+  // Periodic `ts:` sampling (schema v3); see run_quic_page_load.
+  std::optional<obs::StateSampler> sampler;
+  const std::uint64_t dumps_before = obs::FlightRecorder::thread_dumps();
+  if (sink != nullptr && detail::sampling_enabled(opts)) {
+    sampler.emplace(sink);
+    traced.tcp.sampler = &*sampler;
+  }
 
   Testbed tb(scenario);
   std::optional<LinkEventObserver> up_obs;
@@ -221,6 +286,7 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
     down_obs.emplace(tb.downlink(), *sink, "down");
     emit_run_start(sink, "tcp", scenario, workload, tb.sim().now());
   }
+  if (sampler) detail::register_testbed_probes(*sampler, tb);
   http::TcpObjectServer server(tb.sim(), tb.server_host(), kTcpPort, eff->tcp);
   const std::shared_ptr<void> keepalive =
       eff->setup ? eff->setup(tb) : nullptr;
@@ -233,10 +299,17 @@ std::optional<double> run_tcp_page_load(const Scenario& scenario,
   http::PageLoader loader(tb.sim(), session,
                           {workload.object_count, workload.object_bytes});
   loader.start();
+  std::optional<PeriodicTimer> sample_timer;
+  if (sampler) {
+    sample_timer.emplace(tb.sim(), eff->sample_interval,
+                         [&] { sampler->sample(tb.sim().now()); });
+  }
   const bool done = tb.run_until([&] { return loader.finished(); },
                                  eff->timeout);
   detail::emit_run_summary(sink, done, loader.result().plt, tb.sim().now());
   detail::fold_profile_counters(prof, tb);
+  detail::fold_sampler_counters(prof, sampler ? &*sampler : nullptr,
+                                dumps_before);
 
   if (observer != nullptr) {
     detail::fold_tcp_run_metrics(*observer, done, loader.result().plt,

@@ -50,6 +50,14 @@ struct CompareOptions {
   // Optional label folded into trace file names (defaults to the scenario
   // name).
   std::string trace_label;
+  // Periodic internal-state sampling (trace schema v3 `ts:` records): when
+  // true (or LL_SAMPLE is set) and tracing is on, every run drives an
+  // obs::StateSampler at `sample_interval` of virtual time, snapshotting
+  // connection congestion state, access-link queues, and host egress into
+  // the run's trace artifact. Off (and no sink) == zero cost: the run takes
+  // the exact untraced code path.
+  bool sample_state = false;
+  Duration sample_interval = milliseconds(10);
   // Testbed self-observability: when non-null, every page-load run folds
   // its simulator/link work counters (events dispatched, timer ops, packets
   // forwarded, bytes moved) and wall time into the calling worker's shard.

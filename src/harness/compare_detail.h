@@ -63,6 +63,22 @@ void fold_link_metrics(obs::MetricsRegistry& m, const std::string& p,
 // wall-time histograms alongside them vary run to run.
 void fold_profile_counters(obs::ProfilerShard* prof, Testbed& tb);
 
+// Periodic `ts:` sampling opt-in: opts.sample_state, or LL_SAMPLE set to
+// anything but "" / "0". Only consulted when the run is traced.
+bool sampling_enabled(const CompareOptions& opts);
+
+// Registers the testbed's access-link queues (dirs "up" / "down") and the
+// client / server hosts with the sampler. Registration order is fixed, so
+// `ts:` record order within a tick is too.
+void register_testbed_probes(obs::StateSampler& sampler, Testbed& tb);
+
+// Folds sampler telemetry into the profiler shard: `ts_samples` (records
+// emitted this run) and `flight_dumps` (thread-local dump-count delta since
+// `dumps_before`). Null sampler contributes 0 samples.
+void fold_sampler_counters(obs::ProfilerShard* prof,
+                           const obs::StateSampler* sampler,
+                           std::uint64_t dumps_before);
+
 // Per-run transport metrics + trace epilogue, shared by the page-load and
 // scenario runners. `plt` is the run's headline duration (page PLT or
 // scenario completion time), observed as "<prefix>plt_us" on completion.

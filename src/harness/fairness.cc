@@ -2,7 +2,11 @@
 
 #include <memory>
 
+#include "harness/compare_detail.h"
 #include "http/page_loader.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "sim/timer.h"
 
 namespace longlook::harness {
 namespace {
@@ -11,16 +15,17 @@ struct Flow {
   FlowReport report;
   std::unique_ptr<http::ClientSession> session;
   std::unique_ptr<http::PageLoader> loader;
-  std::uint64_t last_sampled_bytes = 0;
-  // Sender-side (server) connection lookup, resolved lazily after the
-  // handshake.
-  std::function<double()> cwnd_probe;
+  std::size_t sampler_index = 0;
+  // Sender-side (server) connection snapshot, resolved lazily after the
+  // handshake: fills cwnd/srtt/inflight from the server's view of the flow.
+  std::function<void(obs::ConnSample&)> state_probe;
 };
 
 }  // namespace
 
 std::vector<FlowReport> run_fairness(const Scenario& scenario,
                                      const FairnessConfig& config) {
+  obs::TraceSink* sink = config.trace;
   Testbed tb(scenario);
   http::QuicObjectServer quic_server(tb.sim(), tb.server_host(), kQuicPort,
                                      config.quic);
@@ -28,6 +33,18 @@ std::vector<FlowReport> run_fairness(const Scenario& scenario,
                                    config.tcp);
   const std::shared_ptr<void> keepalive =
       config.setup ? config.setup(tb) : nullptr;
+
+  if (sink != nullptr) {
+    sink->record(
+        obs::TraceEvent("run:start", tb.sim().now())
+            .u("v", 3)
+            .s("proto", "mixed")
+            .s("scenario", scenario.name)
+            .u("seed", scenario.seed)
+            .u("objects", static_cast<std::uint64_t>(config.quic_flows +
+                                                     config.tcp_flows))
+            .u("object_bytes", config.transfer_bytes));
+  }
 
   std::vector<std::unique_ptr<Flow>> flows;
   std::vector<std::unique_ptr<quic::TokenCache>> token_caches;
@@ -44,12 +61,10 @@ std::vector<FlowReport> run_fairness(const Scenario& scenario,
         config.quic, *token_caches.back());
     http::QuicClientSession* raw = session.get();
     quic::QuicServer* qs = &quic_server.server();
-    flow->cwnd_probe = [raw, qs]() -> double {
+    flow->state_probe = [raw, qs](obs::ConnSample& s) {
       quic::QuicConnection* server_conn =
           qs->connection(raw->connection().connection_id());
-      return server_conn != nullptr
-                 ? static_cast<double>(server_conn->congestion_window())
-                 : 0.0;
+      if (server_conn != nullptr) server_conn->sample_state(s);
     };
     flow->session = std::move(session);
     flows.push_back(std::move(flow));
@@ -65,13 +80,11 @@ std::vector<FlowReport> run_fairness(const Scenario& scenario,
     http::H2ClientSession* raw = session.get();
     tcp::TcpServer* ts = &tcp_server.server();
     const Address client_addr = tb.client_host().address();
-    flow->cwnd_probe = [raw, ts, client_addr]() -> double {
+    flow->state_probe = [raw, ts, client_addr](obs::ConnSample& s) {
       // Identify the server-side connection by the client's ephemeral port.
       tcp::TcpConnection* server_conn =
           ts->connection_for(client_addr, raw->local_port());
-      return server_conn != nullptr
-                 ? static_cast<double>(server_conn->congestion_window())
-                 : 0.0;
+      if (server_conn != nullptr) server_conn->sample_state(s);
     };
     flow->session = std::move(session);
     flows.push_back(std::move(flow));
@@ -85,35 +98,58 @@ std::vector<FlowReport> run_fairness(const Scenario& scenario,
     flow->loader->start();
   }
 
-  // Sampler.
-  const double interval_s = to_seconds(config.sample_interval);
-  std::function<void()> sample = [&flows, &tb, interval_s, &sample,
-                                  &config]() {
-    const double t = to_seconds(tb.sim().now().time_since_epoch());
-    for (auto& flow : flows) {
-      const std::uint64_t bytes =
-          flow->loader->result().objects[0].bytes_received;
-      FlowSample s;
-      s.t_s = t;
-      s.mbps = static_cast<double>(bytes - flow->last_sampled_bytes) * 8.0 /
-               interval_s / 1e6;
-      s.cwnd_bytes = flow->cwnd_probe();
-      flow->last_sampled_bytes = bytes;
-      flow->report.timeline.push_back(s);
-    }
-    tb.sim().schedule(config.sample_interval, sample);
-  };
-  tb.sim().schedule(config.sample_interval, sample);
+  // Sampler: one `ts:flow` series per flow (server cwnd/srtt joined with
+  // client-delivered bytes), plus the testbed's queue/host series when a
+  // sink is attached. Retained points rebuild the FlowReport timelines.
+  obs::StateSampler sampler(sink);
+  sampler.set_retain_flows(true);
+  if (sink != nullptr) detail::register_testbed_probes(sampler, tb);
+  for (auto& flow : flows) {
+    Flow* raw_flow = flow.get();
+    flow->sampler_index =
+        sampler.add_flow(flow->report.name, [raw_flow]() {
+          obs::ConnSample s;
+          raw_flow->state_probe(s);
+          s.delivered_bytes =
+              raw_flow->loader->result().objects[0].bytes_received;
+          return s;
+        });
+  }
+  PeriodicTimer sample_timer(tb.sim(), config.sample_interval,
+                             [&sampler, &tb] {
+                               sampler.sample(tb.sim().now());
+                             });
 
   tb.sim().run_until(TimePoint{} + config.duration);
+  sample_timer.stop();
 
+  const double interval_s = to_seconds(config.sample_interval);
   std::vector<FlowReport> reports;
-  for (auto& flow : flows) {
-    flow->report.bytes_received =
-        flow->loader->result().objects[0].bytes_received;
-    flow->report.avg_mbps = static_cast<double>(flow->report.bytes_received) *
-                            8.0 / to_seconds(config.duration) / 1e6;
-    reports.push_back(std::move(flow->report));
+  obs::MetricsRegistry m;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    Flow& flow = *flows[i];
+    std::uint64_t last = 0;
+    for (const auto& pt : sampler.flow_timeline(flow.sampler_index)) {
+      FlowSample s;
+      s.t_s = to_seconds(pt.at.time_since_epoch());
+      s.mbps = static_cast<double>(pt.sample.delivered_bytes - last) * 8.0 /
+               interval_s / 1e6;
+      s.cwnd_bytes = static_cast<double>(pt.sample.cwnd_bytes);
+      last = pt.sample.delivered_bytes;
+      flow.report.timeline.push_back(s);
+    }
+    flow.report.bytes_received =
+        flow.loader->result().objects[0].bytes_received;
+    flow.report.avg_mbps = static_cast<double>(flow.report.bytes_received) *
+                           8.0 / to_seconds(config.duration) / 1e6;
+    m.incr("flow" + std::to_string(i) + ".bytes_received",
+           flow.report.bytes_received);
+    reports.push_back(std::move(flow.report));
+  }
+  if (sink != nullptr) {
+    detail::emit_run_summary(sink, true, config.duration, tb.sim().now());
+    // run:metrics stays the artifact's last line (tracectl validate).
+    m.record_to(*sink, tb.sim().now());
   }
   return reports;
 }

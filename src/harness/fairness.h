@@ -42,6 +42,12 @@ struct FairnessConfig {
   // Optional testbed hook before flows start (e.g. variable bandwidth).
   // The returned keep-alive is destroyed before the testbed.
   std::function<std::shared_ptr<void>(Testbed&)> setup;
+  // Structured-trace sink (schema v3): when non-null, the run emits a
+  // run:start header, one `ts:flow` record per flow per sample tick plus
+  // the testbed's `ts:queue`/`ts:host` series, and a run:metrics footer —
+  // an artifact `tracectl timeline` can plot directly. Null disables (the
+  // in-memory FlowReport timelines are built either way). Not owned.
+  obs::TraceSink* trace = nullptr;
 };
 
 // Runs the experiment on a fresh testbed built from `scenario`.

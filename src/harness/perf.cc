@@ -5,6 +5,9 @@
 
 #include "harness/compare_detail.h"
 #include "net/trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/sampler.h"
+#include "sim/timer.h"
 #include "util/check.h"
 
 namespace longlook::harness {
@@ -21,7 +24,7 @@ void emit_scenario_run_start(obs::TraceSink* sink, const char* proto,
                              TimePoint now) {
   if (sink == nullptr) return;
   sink->record(obs::TraceEvent("run:start", now)
-                   .u("v", 2)
+                   .u("v", 3)
                    .s("proto", proto)
                    .s("scenario", scenario.name)
                    .u("seed", scenario.seed)
@@ -67,6 +70,13 @@ std::optional<ScenarioRunStats> run_quic_scenario(
     traced.quic.trace = sink;
     eff = &traced;
   }
+  // Periodic `ts:` sampling (schema v3); see compare.cc run_quic_page_load.
+  std::optional<obs::StateSampler> sampler;
+  const std::uint64_t dumps_before = obs::FlightRecorder::thread_dumps();
+  if (sink != nullptr && detail::sampling_enabled(opts)) {
+    sampler.emplace(sink);
+    traced.quic.sampler = &*sampler;
+  }
 
   Testbed tb(scenario);
   std::optional<LinkEventObserver> up_obs;
@@ -76,6 +86,7 @@ std::optional<ScenarioRunStats> run_quic_scenario(
     down_obs.emplace(tb.downlink(), *sink, "down");
     emit_scenario_run_start(sink, "quic", scenario, spec, tb.sim().now());
   }
+  if (sampler) detail::register_testbed_probes(*sampler, tb);
   http::QuicObjectServer server(tb.sim(), tb.server_host(), kQuicPort,
                                 eff->quic);
   const std::shared_ptr<void> keepalive =
@@ -89,11 +100,18 @@ std::optional<ScenarioRunStats> run_quic_scenario(
                                   eff->quic, tokens);
   workload::ScenarioRunner runner(tb.sim(), session, spec);
   runner.start();
+  std::optional<PeriodicTimer> sample_timer;
+  if (sampler) {
+    sample_timer.emplace(tb.sim(), eff->sample_interval,
+                         [&] { sampler->sample(tb.sim().now()); });
+  }
   const bool done = tb.run_until([&] { return runner.finished(); },
                                  eff->timeout);
   detail::emit_run_summary(sink, done, runner.result().duration,
                            tb.sim().now());
   detail::fold_profile_counters(prof, tb);
+  detail::fold_sampler_counters(prof, sampler ? &*sampler : nullptr,
+                                dumps_before);
 
   fold_scenario_totals(observer, runner.result());
   if (observer != nullptr) {
@@ -117,6 +135,13 @@ std::optional<ScenarioRunStats> run_tcp_scenario(
     traced.tcp.trace = sink;
     eff = &traced;
   }
+  // Periodic `ts:` sampling (schema v3); see compare.cc run_tcp_page_load.
+  std::optional<obs::StateSampler> sampler;
+  const std::uint64_t dumps_before = obs::FlightRecorder::thread_dumps();
+  if (sink != nullptr && detail::sampling_enabled(opts)) {
+    sampler.emplace(sink);
+    traced.tcp.sampler = &*sampler;
+  }
 
   Testbed tb(scenario);
   std::optional<LinkEventObserver> up_obs;
@@ -126,6 +151,7 @@ std::optional<ScenarioRunStats> run_tcp_scenario(
     down_obs.emplace(tb.downlink(), *sink, "down");
     emit_scenario_run_start(sink, "tcp", scenario, spec, tb.sim().now());
   }
+  if (sampler) detail::register_testbed_probes(*sampler, tb);
   http::TcpObjectServer server(tb.sim(), tb.server_host(), kTcpPort,
                                eff->tcp);
   const std::shared_ptr<void> keepalive =
@@ -138,11 +164,18 @@ std::optional<ScenarioRunStats> run_tcp_scenario(
                                 eff->tcp);
   workload::ScenarioRunner runner(tb.sim(), session, spec);
   runner.start();
+  std::optional<PeriodicTimer> sample_timer;
+  if (sampler) {
+    sample_timer.emplace(tb.sim(), eff->sample_interval,
+                         [&] { sampler->sample(tb.sim().now()); });
+  }
   const bool done = tb.run_until([&] { return runner.finished(); },
                                  eff->timeout);
   detail::emit_run_summary(sink, done, runner.result().duration,
                            tb.sim().now());
   detail::fold_profile_counters(prof, tb);
+  detail::fold_sampler_counters(prof, sampler ? &*sampler : nullptr,
+                                dumps_before);
 
   fold_scenario_totals(observer, runner.result());
   if (observer != nullptr) {

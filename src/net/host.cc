@@ -52,6 +52,8 @@ bool Host::send(Packet&& p) {
     util::recycle_bytes(std::move(p.data));
     return false;
   }
+  ++sent_;
+  bytes_sent_ += p.wire_size();
   out->send(std::move(p));
   return true;
 }

@@ -96,6 +96,11 @@ class Host {
   std::uint64_t packets_forwarded() const { return forwarded_; }
   std::uint64_t packets_received() const { return received_; }
   std::uint64_t packets_undeliverable() const { return undeliverable_; }
+  // Aggregate egress: packets/wire bytes this host put on any link
+  // (locally originated and forwarded alike). Sampled by obs::StateSampler
+  // as the per-host `ts:host` record.
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
   void dispatch(Packet&& p);
@@ -120,6 +125,8 @@ class Host {
   std::uint64_t forwarded_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t undeliverable_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
 };
 
 // Owns hosts and links; builds topologies (client–router–server, proxies).

@@ -35,35 +35,40 @@ void append_json_escaped(std::string& out, std::string_view s) {
   }
 }
 
-void JsonLinesSink::record(const TraceEvent& event) {
-  util::MutexLock lock(mu_);
-  buffer_ += "{\"t\":";
-  buffer_ += std::to_string(event.at().time_since_epoch().count());
-  buffer_ += ",\"ev\":\"";
-  append_json_escaped(buffer_, event.name());
-  buffer_ += '"';
+void append_json_line(std::string& out, const TraceEvent& event) {
+  out += "{\"t\":";
+  out += std::to_string(event.at().time_since_epoch().count());
+  out += ",\"ev\":\"";
+  append_json_escaped(out, event.name());
+  out += '"';
   for (const TraceField& f : event.fields()) {
-    buffer_ += ",\"";
-    append_json_escaped(buffer_, f.key);
-    buffer_ += "\":";
+    out += ",\"";
+    append_json_escaped(out, f.key);
+    out += "\":";
     switch (f.kind) {
       case TraceField::Kind::kU64:
-        buffer_ += std::to_string(f.u);
+        out += std::to_string(f.u);
         break;
       case TraceField::Kind::kI64:
-        buffer_ += std::to_string(f.i);
+        out += std::to_string(f.i);
         break;
       case TraceField::Kind::kBool:
-        buffer_ += f.b ? "true" : "false";
+        out += f.b ? "true" : "false";
         break;
       case TraceField::Kind::kStr:
-        buffer_ += '"';
-        append_json_escaped(buffer_, f.s);
-        buffer_ += '"';
+        out += '"';
+        append_json_escaped(out, f.s);
+        out += '"';
         break;
     }
   }
-  buffer_ += "}\n";
+  out += '}';
+}
+
+void JsonLinesSink::record(const TraceEvent& event) {
+  util::MutexLock lock(mu_);
+  append_json_line(buffer_, event);
+  buffer_ += '\n';
   ++lines_;
 }
 

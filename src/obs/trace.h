@@ -181,4 +181,10 @@ class RecordingSink final : public TraceSink {
 // characters).
 void append_json_escaped(std::string& out, std::string_view s);
 
+// Renders one event as the canonical artifact line (no trailing newline):
+//   {"t":<ns>,"ev":"<name>",<fields in emission order>}
+// Shared by JsonLinesSink and the FlightRecorder so a replayed flight
+// buffer is byte-identical to what the sink would have written.
+void append_json_line(std::string& out, const TraceEvent& event);
+
 }  // namespace longlook::obs

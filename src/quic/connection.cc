@@ -70,7 +70,32 @@ QuicConnection::QuicConnection(Simulator& sim, Host& host,
     bbr_ = bbr.get();
     cc_ = std::move(bbr);
   }
-  if (config_.trace != nullptr) cc_->set_trace(config_.trace, side());
+  effective_trace_ = config_.trace;
+  if (config_.flight.enabled) {
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(
+        config_.flight, config_.trace,
+        std::string("quic_") + side() + "_" + std::to_string(cid_));
+    effective_trace_ = flight_recorder_.get();
+  }
+  if (trace() != nullptr) cc_->set_trace(trace(), side());
+  // Echo this connection's ts:conn samples through the flight recorder so
+  // post-mortem dumps interleave samples with protocol events.
+  if (config_.sampler != nullptr)
+    config_.sampler->add_connection(this, flight_recorder_.get());
+}
+
+QuicConnection::~QuicConnection() {
+  if (config_.sampler != nullptr) config_.sampler->remove_connection(this);
+}
+
+void QuicConnection::sample_state(obs::ConnSample& out) const {
+  out.cwnd_bytes = cc_->congestion_window();
+  out.ssthresh_bytes = cc_->ssthresh();
+  out.srtt_ns = rtt_.smoothed().count();
+  out.rttvar_ns = rtt_.mean_deviation().count();
+  out.bytes_in_flight = spm_.bytes_in_flight();
+  out.pacing_bps = cc_->pacing_rate_bps();
+  out.delivered_bytes = stats_.stream_bytes_delivered;
 }
 
 void QuicConnection::connect(std::function<void()> established_cb) {

@@ -18,6 +18,8 @@
 #include "cc/cubic_sender.h"
 #include "cc/rtt_estimator.h"
 #include "net/host.h"
+#include "obs/flight_recorder.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "quic/ack_manager.h"
 #include "quic/frames.h"
@@ -55,6 +57,12 @@ struct QuicConfig {
   // Structured event tracing (docs/trace_schema.md). Null disables; the sink
   // must outlive the connection. Not owned.
   obs::TraceSink* trace = nullptr;
+  // Periodic state sampling (`ts:conn` records, schema v3). Null disables;
+  // the sampler must outlive the connection. Not owned.
+  obs::StateSampler* sampler = nullptr;
+  // Crash-dump ring buffer. When enabled, the connection routes its trace
+  // events through a private FlightRecorder wrapping `trace` above.
+  obs::FlightRecorderConfig flight{};
 
   LossDetectionConfig make_loss_config() const;
   CubicSenderConfig make_cc_config() const;
@@ -90,12 +98,13 @@ struct ConnectionStats {
   std::uint64_t handshake_round_trips = 0;  // 0 for 0-RTT resumption
 };
 
-class QuicConnection {
+class QuicConnection : public obs::Sampleable {
  public:
   QuicConnection(Simulator& sim, Host& host, Perspective perspective,
                  ConnectionId cid, Address peer, Port peer_port,
                  Port local_port, QuicConfig config,
                  TokenCache* token_cache = nullptr);
+  ~QuicConnection() override;
 
   // --- Client API ---
   // Starts the handshake (0-RTT if a token is cached and enabled).
@@ -131,6 +140,12 @@ class QuicConnection {
   const QuicConfig& config() const { return config_; }
   BbrLite* bbr() { return bbr_; }
 
+  // obs::Sampleable — periodic `ts:conn` snapshots (obs/sampler.h).
+  void sample_state(obs::ConnSample& out) const override;
+  std::string_view sample_proto() const override { return "quic"; }
+  std::string_view sample_side() const override { return side(); }
+  std::uint64_t sample_flow_id() const override { return cid_; }
+
  private:
   void write_packets();
   bool build_and_send_packet(bool ack_only_allowed);
@@ -151,9 +166,10 @@ class QuicConnection {
   void send_quic_packet(QuicPacket&& pkt, bool retransmittable,
                         std::vector<StreamDataRef> data);
   bool stream_is_active(const QuicStream& s) const;
-  // Structured-trace helpers: sink pointer (null == disabled) and the
-  // constant "side" tag for this endpoint's events.
-  obs::TraceSink* trace() const { return config_.trace; }
+  // Structured-trace helpers: effective sink pointer (the flight recorder
+  // when one is attached, else the configured sink; null == disabled) and
+  // the constant "side" tag for this endpoint's events.
+  obs::TraceSink* trace() const { return effective_trace_; }
   const char* side() const {
     return perspective_ == Perspective::kClient ? "client" : "server";
   }
@@ -167,6 +183,12 @@ class QuicConnection {
   Port local_port_ = 0;
   QuicConfig config_;
   TokenCache* token_cache_;
+
+  // Optional crash-dump ring (config_.flight.enabled); wraps config_.trace.
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+  // What trace() returns: flight_recorder_.get() when present, else
+  // config_.trace (possibly null).
+  obs::TraceSink* effective_trace_ = nullptr;
 
   RttEstimator rtt_;
   std::unique_ptr<SendAlgorithm> cc_;

@@ -21,6 +21,23 @@ void Timer::cancel() {
   }
 }
 
+PeriodicTimer::PeriodicTimer(Simulator& sim, Duration interval,
+                             std::function<void()> on_tick)
+    : interval_(interval),
+      on_tick_(std::move(on_tick)),
+      // ll-analysis: allow(deferred-raw-this) ~PeriodicTimer destroys
+      // timer_ first, which cancels the pending event, so a scheduled tick
+      // can never outlive this PeriodicTimer.
+      timer_(sim, [this] {
+        on_tick_();
+        // The callback may have called stop(); never re-arm past that.
+        if (!stopped_) timer_.set(interval_);
+      }) {
+  LL_CHECK(interval_ > Duration::zero())
+      << "periodic interval must be positive";
+  timer_.set(interval_);
+}
+
 void Timer::fire() {
   // schedule_at clamps past deadlines to "now", so a firing timer can be
   // late but never early.

@@ -1,4 +1,6 @@
-// One-shot reschedulable timer: the building block for RTO, TLP and pacing.
+// One-shot reschedulable timer (the building block for RTO, TLP and
+// pacing) and a self-rearming periodic timer (the obs::StateSampler
+// driver).
 //
 // A Timer owns at most one pending simulator event; set() replaces any
 // previous deadline, cancel() is idempotent, and destruction cancels, so a
@@ -34,6 +36,31 @@ class Timer {
   std::function<void()> on_fire_;
   EventId id_ = kInvalidEventId;
   TimePoint deadline_{};
+};
+
+// Fires `on_tick` every `interval` of virtual time, first at now+interval.
+// The callback runs *before* the next deadline is armed (matching the
+// recursive-schedule idiom it replaces), so a tick observes simulation
+// state as of its own instant and the schedule()-call order around it is
+// unchanged. stop() (or destruction) cancels the pending tick; callbacks
+// never outlive the timer.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration interval,
+                std::function<void()> on_tick);
+
+  void stop() {
+    stopped_ = true;
+    timer_.cancel();
+  }
+  bool running() const { return !stopped_; }
+  Duration interval() const { return interval_; }
+
+ private:
+  Duration interval_{};
+  std::function<void()> on_tick_;
+  bool stopped_ = false;
+  Timer timer_;
 };
 
 }  // namespace longlook

@@ -144,4 +144,15 @@ double percent_difference(double tcp_value, double quic_value) {
   return (tcp_value - quic_value) / tcp_value * 100.0;
 }
 
+double jain_index(std::span<const double> xs) {
+  double sum = 0;
+  double sum_sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq == 0) return 0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
 }  // namespace longlook::stats

@@ -47,4 +47,9 @@ double percent_difference(double tcp_value, double quic_value);
 double mean(std::span<const double> xs);
 double median(std::vector<double> xs);
 
+// Jain's fairness index (sum x)^2 / (n * sum x^2) for per-flow allocations
+// (Table 4 / `tracectl timeline`): 1 = perfectly fair, 1/n = one flow owns
+// everything. Empty or all-zero input returns 0.
+double jain_index(std::span<const double> xs);
+
 }  // namespace longlook::stats

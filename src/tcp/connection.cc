@@ -44,10 +44,35 @@ TcpConnection::TcpConnection(Simulator& sim, Host& host, TcpConfig config,
       delack_timer_(sim, [this] { on_delayed_ack_timer(); }),
       dupthresh_(config.dupthresh) {
   cc_ = std::make_unique<CubicSender>(rtt_, config_.make_cc_config());
-  if (config_.trace != nullptr) cc_->set_trace(config_.trace, side());
+  effective_trace_ = config_.trace;
+  if (config_.flight.enabled) {
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(
+        config_.flight, config_.trace,
+        std::string("tcp_") + side() + "_" + std::to_string(sample_flow_id()));
+    effective_trace_ = flight_recorder_.get();
+  }
+  if (trace() != nullptr) cc_->set_trace(trace(), side());
+  // Echo this connection's ts:conn samples through the flight recorder so
+  // post-mortem dumps interleave samples with protocol events.
+  if (config_.sampler != nullptr)
+    config_.sampler->add_connection(this, flight_recorder_.get());
   app_recv_offset_ = config_.tls_enabled
                          ? (is_client ? kTlsClientInbound : kTlsServerInbound)
                          : 0;
+}
+
+TcpConnection::~TcpConnection() {
+  if (config_.sampler != nullptr) config_.sampler->remove_connection(this);
+}
+
+void TcpConnection::sample_state(obs::ConnSample& out) const {
+  out.cwnd_bytes = cc_->congestion_window();
+  out.ssthresh_bytes = cc_->ssthresh();
+  out.srtt_ns = rtt_.smoothed().count();
+  out.rttvar_ns = rtt_.mean_deviation().count();
+  out.bytes_in_flight = bytes_in_flight();
+  out.pacing_bps = cc_->pacing_rate_bps();
+  out.delivered_bytes = app_delivered_;
 }
 
 void TcpConnection::connect(std::function<void()> established_cb) {

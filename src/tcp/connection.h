@@ -20,6 +20,8 @@
 #include "cc/cubic_sender.h"
 #include "cc/rtt_estimator.h"
 #include "net/host.h"
+#include "obs/flight_recorder.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/timer.h"
 #include "tcp/segment.h"
@@ -46,6 +48,12 @@ struct TcpConfig {
   // Structured event tracing (docs/trace_schema.md). Null disables; the sink
   // must outlive the connection. Not owned.
   obs::TraceSink* trace = nullptr;
+  // Periodic state sampling (`ts:conn` records, schema v3). Null disables;
+  // the sampler must outlive the connection. Not owned.
+  obs::StateSampler* sampler = nullptr;
+  // Crash-dump ring buffer. When enabled, the connection routes its trace
+  // events through a private FlightRecorder wrapping `trace` above.
+  obs::FlightRecorderConfig flight{};
 
   CubicSenderConfig make_cc_config() const;
 };
@@ -62,10 +70,11 @@ struct TcpStats {
   std::uint64_t handshake_round_trips = 0;  // TCP + TLS before app data
 };
 
-class TcpConnection {
+class TcpConnection : public obs::Sampleable {
  public:
   TcpConnection(Simulator& sim, Host& host, TcpConfig config, Address peer,
                 Port peer_port, Port local_port, bool is_client);
+  ~TcpConnection() override;
 
   // Client: start handshake; callback fires when app data may flow
   // (after TCP + TLS).
@@ -101,6 +110,15 @@ class TcpConnection {
 
   // Push buffered app data out (call after write()).
   void flush() { try_send(); }
+
+  // obs::Sampleable — periodic `ts:conn` snapshots (obs/sampler.h).
+  void sample_state(obs::ConnSample& out) const override;
+  std::string_view sample_proto() const override { return "tcp"; }
+  std::string_view sample_side() const override { return side(); }
+  // The client's ephemeral port identifies the flow on both ends.
+  std::uint64_t sample_flow_id() const override {
+    return is_client_ ? local_port_ : peer_port_;
+  }
 
  private:
   enum class State {
@@ -156,9 +174,10 @@ class TcpConnection {
   void on_probe_timer();
   void on_delayed_ack_timer();
 
-  // Structured-trace helpers: sink pointer (null == disabled) and the
-  // constant "side" tag for this endpoint's events.
-  obs::TraceSink* trace() const { return config_.trace; }
+  // Structured-trace helpers: effective sink pointer (the flight recorder
+  // when one is attached, else the configured sink; null == disabled) and
+  // the constant "side" tag for this endpoint's events.
+  obs::TraceSink* trace() const { return effective_trace_; }
   const char* side() const { return is_client_ ? "client" : "server"; }
 
   Simulator& sim_;
@@ -169,6 +188,12 @@ class TcpConnection {
   Port local_port_ = 0;
   bool is_client_ = false;
   State state_ = State::kClosed;
+
+  // Optional crash-dump ring (config_.flight.enabled); wraps config_.trace.
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+  // What trace() returns: flight_recorder_.get() when present, else
+  // config_.trace (possibly null).
+  obs::TraceSink* effective_trace_ = nullptr;
 
   RttEstimator rtt_;
   std::unique_ptr<CubicSender> cc_;

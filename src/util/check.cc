@@ -16,6 +16,7 @@ void default_handler(const CheckFailure& failure) {
 // Atomics so the TSan matrix stays clean if checks ever fire off the main
 // thread; the simulator itself is single-threaded.
 std::atomic<CheckFailHandler> g_handler{&default_handler};
+std::atomic<CheckFailObserver> g_observer{nullptr};
 std::atomic<std::uint64_t> g_failures{0};
 
 }  // namespace
@@ -31,6 +32,10 @@ std::string CheckFailure::to_string() const {
 CheckFailHandler set_check_fail_handler(CheckFailHandler handler) {
   if (handler == nullptr) handler = &default_handler;
   return g_handler.exchange(handler);
+}
+
+CheckFailObserver set_check_fail_observer(CheckFailObserver observer) {
+  return g_observer.exchange(observer);
 }
 
 std::uint64_t check_failure_count() {
@@ -52,6 +57,9 @@ CheckFailStream::CheckFailStream(const char* file, int line,
 CheckFailStream::~CheckFailStream() {
   failure_.message = os_.str();
   g_failures.fetch_add(1, std::memory_order_relaxed);
+  // Observer first: the handler may abort (default) and must see a world
+  // where post-mortem state (flight-recorder dumps) is already persisted.
+  if (CheckFailObserver observer = g_observer.load()) observer(failure_);
   g_handler.load()(failure_);
 }
 

@@ -46,6 +46,15 @@ using CheckFailHandler = void (*)(const CheckFailure&);
 // nullptr restores the default (print + abort).
 CheckFailHandler set_check_fail_handler(CheckFailHandler handler);
 
+// Pre-handler observer: invoked on every failed check *before* the
+// installed handler runs (even when a test handler swallows the failure,
+// and before the default handler aborts). This is the flight-recorder hook
+// (obs::FlightRecorder dumps its ring buffers here); observers must not
+// assume the process survives and must tolerate re-entrant check failures.
+// Returns the previous observer; nullptr disables.
+using CheckFailObserver = void (*)(const CheckFailure&);
+CheckFailObserver set_check_fail_observer(CheckFailObserver observer);
+
 // Total failed checks since process start (any handler). Lets tests assert
 // that a code path fired — or didn't fire — an invariant.
 std::uint64_t check_failure_count();

@@ -285,8 +285,16 @@ class RingBuffer {
     LL_DCHECK(count_ > 0);
     return *element(physical(count_ - 1));
   }
+  const T& back() const {
+    LL_DCHECK(count_ > 0);
+    return *element(physical(count_ - 1));
+  }
   // Logical indexing from the front (0 == front()).
   T& operator[](std::size_t i) {
+    LL_DCHECK(i < count_);
+    return *element(physical(i));
+  }
+  const T& operator[](std::size_t i) const {
     LL_DCHECK(i < count_);
     return *element(physical(i));
   }

@@ -17,9 +17,12 @@
 #include "harness/compare.h"
 #include "harness/runner.h"
 #include "harness/testbed.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "smi/inference.h"
+#include "util/check.h"
 
 namespace longlook {
 namespace {
@@ -318,6 +321,269 @@ TEST(TraceSweep, ArtifactsAndMetricsByteIdenticalSerialVsParallel) {
   EXPECT_EQ(serial_cell.metrics.counter("quic.runs"), 4u);
   EXPECT_EQ(serial_cell.metrics.counter("tcp.runs"), 4u);
   fs::remove_all(base);
+}
+
+// --- StateSampler (schema v3 `ts:` records) ------------------------------
+
+class FakeConn : public obs::Sampleable {
+ public:
+  FakeConn(std::string_view proto, std::string_view side, std::uint64_t id)
+      : proto_(proto), side_(side), id_(id) {}
+  void sample_state(obs::ConnSample& out) const override { out = state_; }
+  std::string_view sample_proto() const override { return proto_; }
+  std::string_view sample_side() const override { return side_; }
+  std::uint64_t sample_flow_id() const override { return id_; }
+  obs::ConnSample state_;
+
+ private:
+  std::string proto_;
+  std::string side_;
+  std::uint64_t id_ = 0;
+};
+
+TEST(StateSampler, EmitsRegistrationOrderedIntegerRecords) {
+  obs::JsonLinesSink sink;
+  obs::StateSampler sampler(&sink);
+  FakeConn conn("quic", "client", 7);
+  conn.state_.cwnd_bytes = 14520;
+  conn.state_.ssthresh_bytes = 1u << 20;
+  conn.state_.srtt_ns = 36'000'000;
+  conn.state_.rttvar_ns = 4'000'000;
+  conn.state_.bytes_in_flight = 2756;
+  conn.state_.pacing_bps = 625'000;
+  conn.state_.delivered_bytes = 65536;
+  sampler.add_connection(&conn);
+  sampler.add_queue("down", [] {
+    obs::QueueSample q;
+    q.depth_bytes = 30720;
+    q.dropped_queue = 3;
+    q.delivered = 120;
+    return q;
+  });
+  sampler.add_host("client", [] {
+    obs::HostSample h;
+    h.tx_packets = 40;
+    h.tx_bytes = 55000;
+    h.rx_packets = 40;
+    return h;
+  });
+  sampler.sample(at_ms(10));
+  EXPECT_EQ(sampler.ticks(), 1u);
+  EXPECT_EQ(sampler.records_emitted(), 3u);
+  EXPECT_EQ(
+      sink.text(),
+      "{\"t\":10000000,\"ev\":\"ts:conn\",\"proto\":\"quic\","
+      "\"side\":\"client\",\"flow\":7,\"cwnd\":14520,\"ssthresh\":1048576,"
+      "\"srtt_ns\":36000000,\"rttvar_ns\":4000000,\"inflight\":2756,"
+      "\"pacing_bps\":625000,\"delivered\":65536}\n"
+      "{\"t\":10000000,\"ev\":\"ts:queue\",\"dir\":\"down\",\"depth\":30720,"
+      "\"drops_queue\":3,\"drops_random\":0,\"delivered\":120}\n"
+      "{\"t\":10000000,\"ev\":\"ts:host\",\"host\":\"client\",\"tx_pkts\":40,"
+      "\"tx_bytes\":55000,\"rx_pkts\":40}\n");
+  // Removal stops emission; a second tick only re-samples what's left.
+  sampler.remove_connection(&conn);
+  sampler.sample(at_ms(20));
+  EXPECT_EQ(sampler.ticks(), 2u);
+  EXPECT_EQ(sampler.records_emitted(), 5u);
+}
+
+TEST(StateSampler, NullSinkRetainsFlowTimelinesWithoutEmitting) {
+  obs::StateSampler sampler(nullptr);
+  sampler.set_retain_flows(true);
+  std::uint64_t delivered = 0;
+  const std::size_t idx = sampler.add_flow("QUIC", [&delivered] {
+    obs::ConnSample s;
+    s.cwnd_bytes = 10000;
+    s.delivered_bytes = delivered;
+    return s;
+  });
+  for (int tick = 1; tick <= 3; ++tick) {
+    delivered += 50000;
+    sampler.sample(at_ms(tick * 500));
+  }
+  EXPECT_EQ(sampler.records_emitted(), 0u);  // no sink: nothing rendered
+  const auto& timeline = sampler.flow_timeline(idx);
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].at, at_ms(500));
+  EXPECT_EQ(timeline[2].sample.delivered_bytes, 150000u);
+}
+
+TEST(StateSampler, SampledSweepArtifactsByteIdenticalAtAnyWorkerCount) {
+  const std::string base =
+      (fs::temp_directory_path() / "ll_obs_sampled_sweep_test").string();
+  fs::remove_all(base);
+  Scenario s = lossy_scenario();
+  s.name = "sampled-identity";
+  const Workload workload{1, 64 * 1024};
+
+  auto run_at = [&](int workers, const std::string& dir) {
+    CompareOptions opts;
+    opts.rounds = 2;
+    opts.trace_dir = dir;
+    opts.sample_state = true;
+    CellResult cell;
+    SweepRunner runner(workers);
+    compare_plt_async(runner, s, workload, opts, &cell);
+    runner.wait_all();
+  };
+  run_at(1, base + "/serial");
+  run_at(8, base + "/parallel");
+
+  const auto serial_files = slurp_artifacts(base + "/serial");
+  const auto parallel_files = slurp_artifacts(base + "/parallel");
+  ASSERT_EQ(serial_files.size(), parallel_files.size());
+  bool saw_ts = false;
+  for (const auto& [name, content] : serial_files) {
+    auto it = parallel_files.find(name);
+    ASSERT_NE(it, parallel_files.end()) << "missing artifact: " << name;
+    EXPECT_EQ(content, it->second) << "sampled artifact differs: " << name;
+    for (const std::string& line : split_lines(content)) {
+      expect_schema_line(line);
+      if (event_name(line).rfind("ts:", 0) == 0) saw_ts = true;
+    }
+  }
+  EXPECT_TRUE(saw_ts) << "sampling enabled but no ts: records in artifacts";
+  fs::remove_all(base);
+}
+
+// --- FlightRecorder (schema v3 `flight:` dumps) --------------------------
+
+obs::TraceEvent rtx_event(std::int64_t ms) {
+  return obs::TraceEvent("quic:packet_lost", at_ms(ms)).u("pn", 1);
+}
+
+TEST(FlightRecorder, ForwardsDownstreamUnchangedAndBuffersWhenEnabled) {
+  obs::JsonLinesSink direct;
+  direct.record(rtx_event(1));
+  obs::JsonLinesSink forwarded;
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  obs::FlightRecorder recorder(cfg, &forwarded, "fwd_test");
+  recorder.record(rtx_event(1));
+  EXPECT_EQ(forwarded.text(), direct.text());
+  EXPECT_EQ(recorder.buffered(), 1u);
+  EXPECT_EQ(recorder.dump_count(), 0u);  // no trigger: no dump artifact
+}
+
+TEST(FlightRecorder, RingWraparoundKeepsNewestAndMarksTruncation) {
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = 4;
+  obs::FlightRecorder recorder(cfg, nullptr, "wrap_test");
+  for (int i = 0; i < 10; ++i) recorder.record(rtx_event(i));
+  EXPECT_EQ(recorder.buffered(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<std::string> lines =
+      split_lines(recorder.render_dump("manual", nullptr));
+  ASSERT_EQ(lines.size(), 6u);  // header + 4 ring records + footer
+  EXPECT_EQ(event_name(lines.front()), "flight:dump");
+  EXPECT_NE(lines.front().find("\"dropped\":6"), std::string::npos);
+  // Oldest surviving record is absolute ordinal 6: the nonzero first seq
+  // is the wraparound-truncation marker consumers key on.
+  EXPECT_EQ(event_name(lines[1]), "flight:event");
+  EXPECT_NE(lines[1].find("\"seq\":6"), std::string::npos);
+  EXPECT_EQ(event_name(lines.back()), "flight:end");
+  EXPECT_NE(lines.back().find("\"events\":4"), std::string::npos);
+}
+
+TEST(FlightRecorder, RetransmitStormDumpsOnceToConfiguredDir) {
+  const std::string dir =
+      (fs::temp_directory_path() / "ll_flight_storm_test").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  cfg.storm_rtx_threshold = 3;
+  cfg.storm_window = seconds(1);
+  cfg.dump_dir = dir;
+  obs::FlightRecorder recorder(cfg, nullptr, "storm_test");
+  // Two rtx events a window apart: no storm yet.
+  recorder.record(rtx_event(0));
+  recorder.record(rtx_event(2000));
+  EXPECT_EQ(recorder.dump_count(), 0u);
+  // Burst inside one window trips the trigger; the latch makes the rest of
+  // the storm free.
+  for (int i = 0; i < 10; ++i) recorder.record(rtx_event(3000 + i));
+  EXPECT_EQ(recorder.dump_count(), 1u);
+  std::size_t dump_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++dump_files;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::vector<std::string> lines = split_lines(ss.str());
+    ASSERT_GE(lines.size(), 3u);
+    EXPECT_EQ(event_name(lines.front()), "flight:dump");
+    EXPECT_NE(lines.front().find("\"reason\":\"retransmit_storm\""),
+              std::string::npos);
+    EXPECT_EQ(event_name(lines.back()), "flight:end");
+  }
+  EXPECT_EQ(dump_files, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FlightRecorder, CwndCollapseLatchesOneDump) {
+  obs::FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  cfg.collapse_divisor = 4;
+  cfg.collapse_min_peak = 100 * 1024;
+  obs::FlightRecorder recorder(cfg, nullptr, "collapse_test");
+  auto cwnd_event = [](std::int64_t ms, std::uint64_t cwnd) {
+    return obs::TraceEvent("cc:state", at_ms(ms)).u("cwnd", cwnd);
+  };
+  auto cc_cwnd = [](std::int64_t ms, std::uint64_t cwnd) {
+    return obs::TraceEvent("cc:cwnd", at_ms(ms)).u("cwnd", cwnd);
+  };
+  // Non-cc:cwnd events never arm the trigger.
+  recorder.record(cwnd_event(1, 512 * 1024));
+  recorder.record(cc_cwnd(2, 200 * 1024));   // peak
+  recorder.record(cc_cwnd(3, 120 * 1024));   // above peak/4: no dump
+  EXPECT_EQ(recorder.dump_count(), 0u);
+  recorder.record(cc_cwnd(4, 40 * 1024));    // below peak/4: collapse
+  EXPECT_EQ(recorder.dump_count(), 1u);
+  recorder.record(cc_cwnd(5, 10 * 1024));    // latched: still one dump
+  EXPECT_EQ(recorder.dump_count(), 1u);
+}
+
+using FlightRecorderDeathTest = ::testing::Test;
+
+TEST(FlightRecorderDeathTest, CheckFailureDumpsRingBeforeAbort) {
+  const std::string dir =
+      (fs::temp_directory_path() / "ll_flight_check_test").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // The child aborts via the default check handler; the observer must dump
+  // the ring to stderr (matched here) and to the dump dir (validated after).
+  EXPECT_DEATH(
+      {
+        obs::FlightRecorderConfig cfg;
+        cfg.enabled = true;
+        cfg.dump_dir = dir;
+        obs::FlightRecorder recorder(cfg, nullptr, "check_test");
+        recorder.record(rtx_event(1));
+        recorder.record(rtx_event(2));
+        LL_CHECK(1 + 1 == 3) << "intentional failure";
+      },
+      "flight:dump");
+  std::size_t dump_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++dump_files;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::vector<std::string> lines = split_lines(ss.str());
+    // header + 2 buffered records + footer, annotated with the check site.
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(event_name(lines.front()), "flight:dump");
+    EXPECT_NE(lines.front().find("\"reason\":\"check\""), std::string::npos);
+    EXPECT_NE(lines.front().find("\"kind\":\"CHECK\""), std::string::npos);
+    EXPECT_NE(lines.front().find("test_obs.cc"), std::string::npos);
+    for (const std::string& line : lines) expect_schema_line(line);
+    EXPECT_EQ(event_name(lines[1]), "flight:event");
+    EXPECT_EQ(event_name(lines.back()), "flight:end");
+  }
+  EXPECT_EQ(dump_files, 1u);
+  fs::remove_all(dir);
 }
 
 TEST(TraceSweep, UntracedSweepPopulatesMetricsOnly) {

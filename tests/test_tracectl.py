@@ -4,13 +4,17 @@
 
 Pins the trace-analysis CLI:
 
-  * `validate` accepts a schema-conformant v1 and v2 artifact;
+  * `validate` accepts a schema-conformant v1, v2, and v3 artifact
+    (including flight-recorder dump artifacts) and version-gates the v3
+    `ts:`/`flight:` families out of older artifacts;
   * `validate` reports (never crashes on) malformed, truncated, float-
     bearing, out-of-order, and non-object lines, with file:line errors;
   * `detect` flags a seeded spurious-loss storm / retransmit storm /
-    handshake stall / cwnd collapse, distinguishes a genuine rtx storm
-    from one explained by spurious-loss recovery, and stays silent on a
-    clean trace;
+    handshake stall / cwnd collapse / queue buildup, distinguishes a
+    genuine rtx storm from one explained by spurious-loss recovery, and
+    stays silent on a clean trace;
+  * `timeline` renders per-flow series from `ts:` samples with pinned
+    Mbps and Jain's-index arithmetic, in ASCII and CSV;
   * `diff` reports per-event-class deltas and exits 0 on identical dirs;
   * bench_report `det` output is canonical (byte-equal for equal
     deterministic sections) and `check` gates on it;
@@ -130,6 +134,58 @@ def rtx_storm_trace_lines(spurious=1):
     return lines
 
 
+def ts_trace_lines(ticks=10, interval_ns=500_000_000, depth=30000,
+                   srtt_base=36_000_000, srtt_bloat=90_000_000):
+    """A v3 artifact with periodic `ts:` samples: two flows (TCP delivering
+    2x the QUIC flow's rate), one standing downlink queue, one host. The
+    depth/srtt knobs parameterize the queue-buildup fixtures."""
+    t_end = ticks * interval_ns
+    lines = [{"t": 0, "ev": "run:start", "v": 3, "proto": "mixed",
+              "scenario": "ts", "seed": 1, "objects": 2,
+              "object_bytes": 1 << 20}]
+    for i in range(1, ticks + 1):
+        t = i * interval_ns
+        srtt = srtt_base if i <= 2 else srtt_bloat
+        lines.append({"t": t, "ev": "ts:conn", "proto": "quic",
+                      "side": "client", "flow": 7, "cwnd": 40000,
+                      "ssthresh": 1 << 20, "srtt_ns": srtt,
+                      "rttvar_ns": 1_000_000, "inflight": 30000,
+                      "pacing_bps": 0, "delivered": i * 62500})
+        lines.append({"t": t, "ev": "ts:queue", "dir": "down",
+                      "depth": depth, "drops_queue": 0, "drops_random": 0,
+                      "delivered": i * 50})
+        lines.append({"t": t, "ev": "ts:host", "host": "client",
+                      "tx_pkts": i * 10, "tx_bytes": i * 14000,
+                      "rx_pkts": i * 10})
+        lines.append({"t": t, "ev": "ts:flow", "flow": "QUIC",
+                      "cwnd": 40000, "srtt_ns": srtt, "inflight": 30000,
+                      "delivered": i * 62500})
+        lines.append({"t": t, "ev": "ts:flow", "flow": "TCP",
+                      "cwnd": 20000, "srtt_ns": srtt, "inflight": 15000,
+                      "delivered": i * 125000})
+    lines.append({"t": t_end, "ev": "run:summary", "plt_ns": t_end})
+    lines.append({"t": t_end, "ev": "run:metrics", "quic.runs": 1})
+    return lines
+
+
+def flight_dump_lines():
+    """A well-formed flight-recorder dump artifact (check-failure flavour,
+    with wraparound markers: dropped > 0, first seq > 0)."""
+    return [
+        {"t": 1000000, "ev": "flight:dump", "v": 3, "label": "quic_client_1",
+         "reason": "check", "events": 2, "dropped": 3, "kind": "CHECK",
+         "file": "x.cc", "line": 42, "cond": "a <= b"},
+        {"t": 1000000, "ev": "flight:event", "seq": 3,
+         "line": json.dumps({"t": 1000000, "ev": "quic:packet_sent",
+                             "side": "client", "pn": 9, "bytes": 1392,
+                             "rtxable": True})},
+        {"t": 2000000, "ev": "flight:event", "seq": 4,
+         "line": json.dumps({"t": 2000000, "ev": "quic:rto", "side":
+                             "client", "n": 1})},
+        {"t": 2000000, "ev": "flight:end", "events": 2},
+    ]
+
+
 def test_validate_ok(td):
     for version in (1, 2):
         p = os.path.join(td, f"v{version}.jsonl")
@@ -137,6 +193,49 @@ def test_validate_ok(td):
         code, out, err = run(tracectl, ["validate", p])
         check(code == 0, f"validate v{version}: expected 0, got {code}: "
               f"{out}{err}")
+    # v3: periodic ts: samples and flight-recorder dump artifacts validate.
+    p = os.path.join(td, "v3.jsonl")
+    write_trace(p, ts_trace_lines())
+    code, out, err = run(tracectl, ["validate", p])
+    check(code == 0, f"validate v3 ts: expected 0, got {code}: {out}{err}")
+    p = os.path.join(td, "flight_ok.jsonl")
+    write_trace(p, flight_dump_lines())
+    code, out, err = run(tracectl, ["validate", p])
+    check(code == 0, f"validate flight: expected 0, got {code}: {out}{err}")
+
+
+def test_validate_v3_gating(td):
+    # A ts: record inside a v2 artifact is a version violation.
+    lines = clean_trace_lines(version=2)
+    lines.insert(2, {"t": 0, "ev": "ts:queue", "dir": "down", "depth": 0,
+                     "drops_queue": 0, "drops_random": 0, "delivered": 0})
+    p = os.path.join(td, "ts_in_v2.jsonl")
+    write_trace(p, lines)
+    code, out, _ = run(tracectl, ["validate", p])
+    check(code == 1 and "requires schema v3" in out,
+          f"ts in v2: expected version gate, got rc={code}: {out}")
+    # Incomplete ts:conn records are caught by the required-field check.
+    lines = ts_trace_lines(ticks=1)
+    del lines[1]["cwnd"]
+    p = os.path.join(td, "ts_missing_field.jsonl")
+    write_trace(p, lines)
+    code, out, _ = run(tracectl, ["validate", p])
+    check(code == 1 and "missing field" in out and "cwnd" in out,
+          f"ts missing field: expected failure, got rc={code}: {out}")
+    # A dump without its flight:end footer is a truncated artifact.
+    p = os.path.join(td, "flight_truncated.jsonl")
+    write_trace(p, flight_dump_lines()[:-1])
+    code, out, _ = run(tracectl, ["validate", p])
+    check(code == 1 and "flight:end" in out,
+          f"flight truncated: expected failure, got rc={code}: {out}")
+    # An embedded line that is not a t/ev trace record is an error.
+    lines = flight_dump_lines()
+    lines[1]["line"] = "not json at all"
+    p = os.path.join(td, "flight_bad_line.jsonl")
+    write_trace(p, lines)
+    code, out, _ = run(tracectl, ["validate", p])
+    check(code == 1 and "unparseable" in out,
+          f"flight bad line: expected failure, got rc={code}: {out}")
 
 
 def test_validate_rejects(td):
@@ -249,6 +348,89 @@ def test_detect(td):
     code, out, _ = run(tracectl, ["detect", collapse])
     check(code == 1 and "cwnd-collapse" in out,
           f"detect collapse: expected cwnd-collapse, got rc={code}: {out}")
+
+
+def test_detect_queue_buildup(td):
+    # Fire: a 4.5s standing queue (30000 >= 16384 bytes) with srtt riding at
+    # 90ms >= 1.5x the 36ms minimum.
+    fire = os.path.join(td, "detect_queue_fire.jsonl")
+    write_trace(fire, ts_trace_lines())
+    code, out, _ = run(tracectl, ["detect", fire])
+    check(code == 1 and "queue-buildup" in out,
+          f"detect queue fire: expected queue-buildup, got rc={code}: {out}")
+
+    # No fire: same shape but the queue never reaches the depth threshold.
+    shallow = os.path.join(td, "detect_queue_shallow.jsonl")
+    write_trace(shallow, ts_trace_lines(depth=8000))
+    code, out, _ = run(tracectl, ["detect", shallow])
+    check(code == 0 and "queue-buildup" not in out,
+          f"detect queue shallow: expected silence, got rc={code}: {out}")
+
+    # No fire: deep queue but srtt never inflates (depth alone is not
+    # bufferbloat — e.g. a token bucket draining at line rate).
+    flat = os.path.join(td, "detect_queue_flat_srtt.jsonl")
+    write_trace(flat, ts_trace_lines(srtt_bloat=36_000_000))
+    code, out, _ = run(tracectl, ["detect", flat])
+    check(code == 0 and "queue-buildup" not in out,
+          f"detect queue flat srtt: expected silence, got rc={code}: {out}")
+
+    # No fire: the backlog clears before the sustain threshold.
+    short = os.path.join(td, "detect_queue_short.jsonl")
+    write_trace(short, ts_trace_lines(ticks=3))
+    code, out, _ = run(tracectl, ["detect", short])
+    check(code == 0 and "queue-buildup" not in out,
+          f"detect queue short: expected silence, got rc={code}: {out}")
+
+    # The srtt-factor knob flips the verdict on the firing fixture
+    # (90/36 = 2.5x inflation < 3.0x).
+    code, out, _ = run(tracectl, ["detect", "--bloat-srtt-factor", "3.0",
+                                  fire])
+    check(code == 0 and "queue-buildup" not in out,
+          f"detect queue knob: expected silence at 3.0x, got rc={code}: "
+          f"{out}")
+
+
+def test_timeline(td):
+    p = os.path.join(td, "timeline.jsonl")
+    write_trace(p, ts_trace_lines())
+    # Pinned arithmetic: QUIC delivers 62500 bytes per 0.5s interval
+    # (1.00 Mbps), TCP 125000 (2.00 Mbps); Jain of (1, 2) = 9/10 = 0.900.
+    code, out, _ = run(tracectl, ["timeline", p])
+    check(code == 0, f"timeline: expected 0, got {code}: {out}")
+    check("QUIC" in out and "TCP" in out,
+          f"timeline: missing flow columns: {out}")
+    row = next((ln for ln in out.splitlines() if ln.strip().
+                startswith("0.5")), "")
+    check("1.00" in row and "2.00" in row and "0.900" in row,
+          f"timeline: wrong first-interval row: {row!r}")
+    check("overall Mbps: QUIC=1.00  TCP=2.00  jain=0.9000" in out,
+          f"timeline: wrong overall summary: {out}")
+    # CSV carries the same numbers, one column per flow plus the jain column.
+    code, out, _ = run(tracectl, ["timeline", "--csv", "-", p])
+    check(code == 0, f"timeline csv: expected 0, got {code}")
+    csv_lines = out.splitlines()
+    check(csv_lines[0] == "t_s,QUIC,TCP,jain",
+          f"timeline csv: wrong header: {csv_lines[0]!r}")
+    check(csv_lines[1] == "0.5,1,2,0.900000",
+          f"timeline csv: wrong first row: {csv_lines[1]!r}")
+    check(len(csv_lines) == 11, f"timeline csv: expected 10 data rows, got "
+          f"{len(csv_lines) - 1}")
+    # Other sampled quantities come from the same artifact.
+    code, out, _ = run(tracectl, ["timeline", "--value", "cwnd", p])
+    check(code == 0 and "40000.00" in out and "20000.00" in out,
+          f"timeline cwnd: wrong values: rc={code}: {out}")
+    code, out, _ = run(tracectl, ["timeline", "--value", "srtt_ms", p])
+    check(code == 0 and "90.00" in out,
+          f"timeline srtt: wrong values: rc={code}: {out}")
+    code, out, _ = run(tracectl, ["timeline", "--value", "queue", p])
+    check(code == 0 and "down" in out and "30000.00" in out,
+          f"timeline queue: wrong values: rc={code}: {out}")
+    # An artifact without ts: samples is a loud error, not an empty table.
+    v2 = os.path.join(td, "timeline_v2.jsonl")
+    write_trace(v2, clean_trace_lines())
+    code, _, err = run(tracectl, ["timeline", v2])
+    check(code == 1 and "no ts: samples" in err,
+          f"timeline no samples: expected error, got rc={code}: {err}")
 
 
 def test_summarize_and_diff(td):
@@ -446,7 +628,10 @@ def main_selftest():
     with tempfile.TemporaryDirectory() as td:
         test_validate_ok(td)
         test_validate_rejects(td)
+        test_validate_v3_gating(td)
         test_detect(td)
+        test_detect_queue_buildup(td)
+        test_timeline(td)
         test_summarize_and_diff(td)
         test_bench_report(td)
         test_bench_hist(td)
@@ -456,9 +641,10 @@ def main_selftest():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("tracectl_selftest: OK (validate strict + crash-free on fuzz "
-          "cases, detect golden, diff, bench_report det/check/diff/hist/"
-          "perf-floor pinned)")
+    print("tracectl_selftest: OK (validate strict v1-v3 + flight dumps + "
+          "crash-free on fuzz cases, detect golden incl. queue-buildup, "
+          "timeline Mbps/Jain pinned, diff, bench_report det/check/diff/"
+          "hist/perf-floor pinned)")
     return 0
 
 

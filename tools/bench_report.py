@@ -101,7 +101,7 @@ def cmd_summary(args: argparse.Namespace) -> int:
         print(f"bench_report summary: no BENCH_*.json in {args.dir}",
               file=sys.stderr)
         return 2
-    rows: List[Tuple[str, str, str, str, str, str]] = []
+    rows: List[Tuple[str, ...]] = []
     for path in files:
         try:
             data = load_result(path)
@@ -111,6 +111,7 @@ def cmd_summary(args: argparse.Namespace) -> int:
         sections = data["deterministic"].get("sections", [])
         cells = sum(len(s.get("cells", [])) for s in sections)
         rates = profile_rates(data)
+        counters = profile_counters(data)
         rows.append((
             data["name"],
             str(data["rounds"]),
@@ -118,8 +119,11 @@ def cmd_summary(args: argparse.Namespace) -> int:
             f"{rates.get('wall_ns', 0) / 1e9:.2f}",
             f"{rates.get('events_per_sec', 0) / 1e6:.2f}",
             f"{rates.get('packets_per_sec', 0) / 1e3:.1f}",
+            str(counters.get("ts_samples", 0)),
+            str(counters.get("flight_dumps", 0)),
         ))
-    headers = ("bench", "rounds", "cells", "wall_s", "Mev/s", "kpkt/s")
+    headers = ("bench", "rounds", "cells", "wall_s", "Mev/s", "kpkt/s",
+               "ts_samples", "flt_dumps")
     widths = [max(len(h), *(len(r[i]) for r in rows))
               for i, h in enumerate(headers)]
     line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))

@@ -2,12 +2,16 @@
 """tracectl — analysis CLI for longlook structured trace artifacts.
 
 Subcommands over the JSON-lines artifacts described in docs/trace_schema.md
-(schema v1 and v2):
+(schema v1–v3):
 
   validate   strict schema check; robust to malformed/truncated lines
+             (run artifacts and flight-recorder dump artifacts alike)
   summarize  per-connection timeline: handshake, retransmits, cwnd, stalls
   detect     seeded anomaly rules: spurious-loss storms, retransmit storms,
-             handshake stalls, cwnd collapse, ACK-delay outliers
+             handshake stalls, cwnd collapse, ACK-delay outliers,
+             queue buildup (bufferbloat) over v3 `ts:` samples
+  timeline   per-flow time series from v3 `ts:` records: ASCII table /
+             CSV plus Jain's fairness index per interval and overall
   diff       compare two trace dirs (or files) event-class by event-class
 
 Exit codes: 0 clean, 1 findings / validation errors, 2 usage or I/O error.
@@ -25,7 +29,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 
 # Required fields per event name (beyond the t/ev envelope). Values are
 # checked for presence only; types are enforced by the flat-scalar rule.
@@ -58,10 +62,23 @@ REQUIRED_FIELDS = {
     "net:drop_queue": ["dir", "bytes", "proto"],
     "net:drop_random": ["dir", "bytes", "proto"],
     "net:reorder": ["dir", "seq", "depth"],
+    "ts:conn": ["proto", "side", "flow", "cwnd", "ssthresh", "srtt_ns",
+                "rttvar_ns", "inflight", "pacing_bps", "delivered"],
+    "ts:queue": ["dir", "depth", "drops_queue", "drops_random", "delivered"],
+    "ts:host": ["host", "tx_pkts", "tx_bytes", "rx_pkts"],
+    "ts:flow": ["flow", "cwnd", "srtt_ns", "inflight", "delivered"],
+    "flight:dump": ["v", "label", "reason", "events", "dropped"],
+    "flight:event": ["seq", "line"],
+    "flight:end": ["events"],
 }
 
 # v2-only record types (run:start carries "v": 2 when these may appear).
 V2_ONLY_EVENTS = {"run:hist"}
+
+# v3-only record families: the periodic state samples and flight-recorder
+# dump blocks (run:start carries "v": 3 when these may appear).
+V3_ONLY_EVENTS = {"ts:conn", "ts:queue", "ts:host", "ts:flow",
+                  "flight:dump", "flight:event", "flight:end"}
 
 
 @dataclass
@@ -122,7 +139,9 @@ def parse_trace(path: str) -> Trace:
             continue
         trace.events.append((i, obj))
     for line_no, obj in trace.events:
-        if obj.get("ev") == "run:start":
+        # Flight-recorder dump artifacts carry the version on their
+        # flight:dump header instead of run:start.
+        if obj.get("ev") in ("run:start", "flight:dump"):
             v = obj.get("v", 1)
             if isinstance(v, int):
                 trace.version = v
@@ -130,8 +149,13 @@ def parse_trace(path: str) -> Trace:
     return trace
 
 
+def is_flight_artifact(trace: Trace) -> bool:
+    return bool(trace.events) and trace.events[0][1].get("ev") == "flight:dump"
+
+
 def validate_trace(trace: Trace) -> None:
     """Append schema-conformance errors to an already-parsed trace."""
+    flight = is_flight_artifact(trace)
     last_t: Optional[int] = None
     for idx, (line_no, obj) in enumerate(trace.events):
         t = obj.get("t")
@@ -154,8 +178,25 @@ def validate_trace(trace: Trace) -> None:
             elif not isinstance(value, (int, bool, str)):
                 trace.err(line_no, f"field '{key}' has non-scalar type "
                           f"{type(value).__name__}")
-        if idx == 0 and ev != "run:start":
+        if idx == 0 and ev != "run:start" and not flight:
             trace.err(line_no, f"first event must be run:start, got {ev}")
+        if flight:
+            expected = ("flight:dump" if idx == 0 else
+                        "flight:end" if idx == len(trace.events) - 1 else
+                        "flight:event")
+            if ev != expected:
+                trace.err(line_no, f"flight artifact: event {idx} must be "
+                          f"{expected}, got {ev}")
+            if ev == "flight:event" and isinstance(obj.get("line"), str):
+                try:
+                    inner = json.loads(obj["line"])
+                    if (not isinstance(inner, dict)
+                            or not isinstance(inner.get("t"), int)
+                            or not isinstance(inner.get("ev"), str)):
+                        raise ValueError("not a t/ev trace line")
+                except (json.JSONDecodeError, ValueError) as e:
+                    trace.err(line_no,
+                              f"flight:event embedded line unparseable: {e}")
         required = REQUIRED_FIELDS.get(ev)
         if required is not None:
             missing = [k for k in required if k not in obj]
@@ -170,6 +211,9 @@ def validate_trace(trace: Trace) -> None:
         if ev in V2_ONLY_EVENTS and trace.version < 2:
             trace.err(line_no, f"{ev} requires schema v2, artifact is "
                       f"v{trace.version}")
+        if ev in V3_ONLY_EVENTS and trace.version < 3:
+            trace.err(line_no, f"{ev} requires schema v3, artifact is "
+                      f"v{trace.version}")
         if ev == "run:hist" and isinstance(obj.get("buckets"), str):
             try:
                 buckets = json.loads(obj["buckets"])
@@ -180,7 +224,13 @@ def validate_trace(trace: Trace) -> None:
                     raise ValueError("not a [[index,count],...] array")
             except (json.JSONDecodeError, ValueError) as e:
                 trace.err(line_no, f"run:hist buckets unparseable: {e}")
-    if trace.events:
+    if flight:
+        last_ev = trace.events[-1][1].get("ev")
+        if last_ev != "flight:end":
+            trace.err(trace.events[-1][0],
+                      f"last event must be flight:end, got {last_ev} "
+                      "(truncated dump?)")
+    elif trace.events:
         last_ev = trace.events[-1][1].get("ev")
         if last_ev != "run:metrics":
             trace.err(trace.events[-1][0],
@@ -453,6 +503,46 @@ def detect_trace(trace: Trace, args: argparse.Namespace) -> List[Finding]:
                     f"{len(outliers)}/{len(rtts)} RTT samples above "
                     f"{args.ack_outlier_factor:g}x median "
                     f"({med / 1e6:.1f}ms); worst {max(outliers) / 1e6:.1f}ms"))
+
+    # Rule 5: queue buildup (bufferbloat) — a router queue sits at or above
+    # a depth threshold for a sustained stretch of sim time while smoothed
+    # RTT rides above bloat_srtt_factor x the connection's smallest observed
+    # srtt. Needs v3 `ts:` samples; artifacts without them never fire.
+    sustain_ns = int(args.queue_sustain_s * 1e9)
+    queues: Dict[str, List[Tuple[int, int]]] = {}
+    for _, obj in trace.events:
+        if (obj.get("ev") == "ts:queue" and isinstance(obj.get("t"), int)
+                and isinstance(obj.get("depth"), int)):
+            queues.setdefault(str(obj.get("dir", "?")), []).append(
+                (obj["t"], obj["depth"]))
+    srtts = [(obj["t"], obj["srtt_ns"]) for _, obj in trace.events
+             if obj.get("ev") in ("ts:conn", "ts:flow")
+             and isinstance(obj.get("t"), int)
+             and isinstance(obj.get("srtt_ns"), int) and obj["srtt_ns"] > 0]
+    min_srtt = min((v for _, v in srtts), default=0)
+    for direction, samples in sorted(queues.items()):
+        best: Optional[Tuple[int, int]] = None  # (start, end) of longest run
+        run_start: Optional[int] = None
+        for t, depth in samples:
+            if depth >= args.queue_depth_bytes:
+                if run_start is None:
+                    run_start = t
+                if best is None or t - run_start > best[1] - best[0]:
+                    best = (run_start, t)
+            else:
+                run_start = None
+        if best is None or best[1] - best[0] < sustain_ns or min_srtt == 0:
+            continue
+        inflated = [v for t, v in srtts if best[0] <= t <= best[1]]
+        if inflated and max(inflated) >= args.bloat_srtt_factor * min_srtt:
+            findings.append(Finding(
+                trace.path, "queue-buildup",
+                f"{direction} queue >= {args.queue_depth_bytes}B for "
+                f"{(best[1] - best[0]) / 1e9:.1f}s "
+                f"(threshold {args.queue_sustain_s:g}s) with srtt inflated "
+                f"to {max(inflated) / 1e6:.1f}ms "
+                f">= {args.bloat_srtt_factor:g}x min {min_srtt / 1e6:.1f}ms "
+                f"— standing queue (bufferbloat)"))
     return findings
 
 
@@ -475,6 +565,183 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print(f"tracectl detect: {len(all_findings)} finding(s) "
               f"in {len(files)} file(s)")
         return 1
+    return rc
+
+
+# ---------------------------------------------------------------- timeline
+
+
+def timeline_series(trace: Trace, value: str) -> Dict[str, List[Tuple[int, int]]]:
+    """Extract named (t_ns, value) series from a v3 artifact.
+
+    Series come from `ts:flow` records (named by the harness) when the
+    artifact has any — `ts:conn` records (named "<proto>:<flow>:<side>")
+    are only the fallback, since fairness artifacts carry both views of
+    the same flow and double-counting would skew the Jain column. For
+    value "queue" the series are `ts:queue` records named by direction.
+    Values are the raw integers from the records; rate conversion happens
+    at render time.
+    """
+    field = {"mbps": "delivered", "cwnd": "cwnd", "srtt_ms": "srtt_ns",
+             "inflight": "inflight", "queue": "depth"}[value]
+    flows: Dict[str, List[Tuple[int, int]]] = {}
+    conns: Dict[str, List[Tuple[int, int]]] = {}
+    for _, obj in trace.events:
+        t = obj.get("t")
+        if not isinstance(t, int):
+            continue
+        ev = obj.get("ev")
+        if value == "queue":
+            if ev == "ts:queue" and isinstance(obj.get(field), int):
+                flows.setdefault(str(obj.get("dir", "?")), []).append(
+                    (t, obj[field]))
+            continue
+        if ev == "ts:flow" and isinstance(obj.get(field), int):
+            flows.setdefault(str(obj.get("flow", "?")), []).append(
+                (t, obj[field]))
+        elif ev == "ts:conn" and isinstance(obj.get(field), int):
+            name = (f"{obj.get('proto', '?')}:{obj.get('flow', '?')}:"
+                    f"{obj.get('side', '?')}")
+            conns.setdefault(name, []).append((t, obj[field]))
+    return flows if flows else conns
+
+
+def jain(xs: List[float]) -> float:
+    """Jain's fairness index (sum x)^2 / (n * sum x^2); 0 for no/zero input.
+
+    Mirrors stats::jain_index in src/stats/stats.cc.
+    """
+    total = sum(xs)
+    total_sq = sum(x * x for x in xs)
+    if not xs or total_sq == 0:
+        return 0.0
+    return total * total / (len(xs) * total_sq)
+
+
+def render_timeline(path: str, series: Dict[str, List[Tuple[int, int]]],
+                    value: str, csv_out, chart_width: int) -> None:
+    names = sorted(series)
+    ticks = sorted({t for pts in series.values() for t, _ in pts})
+    by_name = {n: dict(pts) for n, pts in series.items()}
+    rate = value == "mbps"
+
+    # Per-tick table values: for rates, the delta of the cumulative counter
+    # over the preceding interval, scaled to Mbps; otherwise the raw sample
+    # (srtt rendered in ms).
+    rows: List[Tuple[float, List[Optional[float]]]] = []
+    prev: Dict[str, int] = {n: 0 for n in names}
+    prev_t = 0
+    for t in ticks:
+        out_row: List[Optional[float]] = []
+        for n in names:
+            raw = by_name[n].get(t)
+            if raw is None:
+                out_row.append(None)
+                continue
+            if rate:
+                dt_s = (t - prev_t) / 1e9
+                out_row.append((raw - prev[n]) * 8.0 / dt_s / 1e6
+                               if dt_s > 0 else 0.0)
+                prev[n] = raw
+            elif value == "srtt_ms":
+                out_row.append(raw / 1e6)
+            else:
+                out_row.append(float(raw))
+        rows.append((t / 1e9, out_row))
+        prev_t = t
+
+    multi = rate and len(names) >= 2
+    if csv_out is not None:
+        cols = ["t_s"] + names + (["jain"] if multi else [])
+        csv_out.write(",".join(cols) + "\n")
+        for t_s, vals in rows:
+            cells = [f"{t_s:g}"] + [
+                "" if v is None else f"{v:.6g}" for v in vals]
+            if multi:
+                present = [v for v in vals if v is not None]
+                cells.append(f"{jain(present):.6f}")
+            csv_out.write(",".join(cells) + "\n")
+        return
+
+    unit = {"mbps": "Mbps", "cwnd": "bytes", "srtt_ms": "ms",
+            "inflight": "bytes", "queue": "bytes"}[value]
+    print(f"{path}: {value} ({unit}) over time")
+    header = f"{'t(s)':>8}" + "".join(f"{n[:14]:>16}" for n in names)
+    if multi:
+        header += f"{'jain':>8}"
+    print(header)
+    peak = max((v for _, vals in rows for v in vals if v is not None),
+               default=0.0)
+    for t_s, vals in rows:
+        line = f"{t_s:>8.1f}"
+        for v in vals:
+            line += f"{'':>16}" if v is None else f"{v:>16.2f}"
+        if multi:
+            present = [v for v in vals if v is not None]
+            line += f"{jain(present):>8.3f}"
+        print(line)
+    # Compact per-series chart: one bar per sample, normalised to the peak.
+    # Longer runs are downsampled to chart_width bars (max over each bucket,
+    # so transient spikes stay visible).
+    if chart_width > 0 and peak > 0:
+        for n in names:
+            col = names.index(n)
+            vals = [vals[col] for _, vals in rows]
+            if len(vals) > chart_width:
+                buckets = []
+                for b in range(chart_width):
+                    lo = b * len(vals) // chart_width
+                    hi = max(lo + 1, (b + 1) * len(vals) // chart_width)
+                    present = [v for v in vals[lo:hi] if v is not None]
+                    buckets.append(max(present) if present else None)
+                vals = buckets
+            bars = ["" if v is None else
+                    "▁▂▃▄▅▆▇█"[min(7, int(v / peak * 7.999))] for v in vals]
+            bars = [b if b else " " for b in bars]
+            print(f"  {n[:14]:<14} |{''.join(bars)}|")
+    # Overall allocation: final cumulative value over the full span (rates),
+    # Jain over those per-series averages.
+    if rate and ticks:
+        span_s = ticks[-1] / 1e9
+        overall = []
+        summary = []
+        for n in names:
+            final = max(by_name[n].values(), default=0)
+            avg = final * 8.0 / span_s / 1e6 if span_s > 0 else 0.0
+            overall.append(avg)
+            summary.append(f"{n}={avg:.2f}")
+        line = "overall Mbps: " + "  ".join(summary)
+        if multi:
+            line += f"  jain={jain(overall):.4f}"
+        print(line)
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    files = trace_files(args.paths)
+    if not files:
+        print("tracectl timeline: no artifacts found", file=sys.stderr)
+        return 2
+    rc = 0
+    for path in files:
+        trace = parse_trace(path)
+        for e in trace.errors:
+            print(f"warning: {e}", file=sys.stderr)
+        series = timeline_series(trace, args.value)
+        if not series:
+            print(f"{path}: no ts: samples for value '{args.value}' "
+                  "(v3 artifact with sampling enabled?)", file=sys.stderr)
+            rc = 1
+            continue
+        if args.csv is not None:
+            if args.csv == "-":
+                render_timeline(path, series, args.value, sys.stdout,
+                                args.chart_width)
+            else:
+                with open(args.csv, "w", encoding="utf-8") as f:
+                    render_timeline(path, series, args.value, f,
+                                    args.chart_width)
+        else:
+            render_timeline(path, series, args.value, None, args.chart_width)
     return rc
 
 
@@ -566,7 +833,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="final cwnd below this fraction of peak = collapse")
     d.add_argument("--collapse-min-bytes", type=int, default=15000)
     d.add_argument("--ack-outlier-factor", type=float, default=10.0)
+    d.add_argument("--queue-depth-bytes", type=int, default=16384,
+                   help="ts:queue depth that counts as standing backlog")
+    d.add_argument("--queue-sustain-s", type=float, default=2.0,
+                   help="backlog must persist this long to fire")
+    d.add_argument("--bloat-srtt-factor", type=float, default=1.5,
+                   help="srtt inflation vs min srtt during the backlog")
     d.set_defaults(fn=cmd_detect)
+
+    t = sub.add_parser("timeline",
+                       help="per-flow ASCII/CSV timelines from ts: samples")
+    t.add_argument("paths", nargs="+")
+    t.add_argument("--value", default="mbps",
+                   choices=["mbps", "cwnd", "srtt_ms", "inflight", "queue"],
+                   help="which sampled quantity to plot")
+    t.add_argument("--csv", default=None, metavar="PATH",
+                   help="write CSV instead of the ASCII table ('-' = stdout)")
+    t.add_argument("--chart-width", type=int, default=60,
+                   help="sparkline width; 0 disables the chart")
+    t.set_defaults(fn=cmd_timeline)
 
     f = sub.add_parser("diff", help="compare two trace dirs or files")
     f.add_argument("a")
